@@ -1,0 +1,97 @@
+//! Micro-benchmarks of the substrates: engine round throughput, walk
+//! computation, label machinery. These measure the *simulator's* speed
+//! (the paper makes no wall-clock claims); the X-benches measure the
+//! paper's round/cost metrics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rendezvous_core::{lex_subset_bits, Fast, Label, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::{dfs_walk, DfsMapExplorer, Explorer, OrientedRingExplorer};
+use rendezvous_graph::{generators, NodeId};
+use rendezvous_sim::{AgentSpec, Simulation};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn engine_throughput(c: &mut Criterion) {
+    let g = Arc::new(generators::oriented_ring(64).unwrap());
+    let ex: Arc<dyn Explorer> = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = Fast::new(g.clone(), ex, LabelSpace::new(64).unwrap());
+    c.bench_function("engine/fast_pair_on_ring64", |b| {
+        b.iter_batched(
+            || {
+                let a = alg.agent(Label::new(17).unwrap(), NodeId::new(0)).unwrap();
+                let bb = alg.agent(Label::new(42).unwrap(), NodeId::new(31)).unwrap();
+                (a, bb)
+            },
+            |(a, bb)| {
+                let out = Simulation::new(&g)
+                    .agent(Box::new(a), AgentSpec::immediate(NodeId::new(0)))
+                    .agent(Box::new(bb), AgentSpec::immediate(NodeId::new(31)))
+                    .max_rounds(alg.time_bound())
+                    .run()
+                    .unwrap();
+                black_box(out.met())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn walk_computation(c: &mut Criterion) {
+    let grid = generators::grid(16, 16).unwrap();
+    c.bench_function("explore/dfs_walk_grid256", |b| {
+        b.iter(|| black_box(dfs_walk(&grid, NodeId::new(0)).len()));
+    });
+    c.bench_function("explore/dfs_explorer_build_grid256", |b| {
+        let g = Arc::new(grid.clone());
+        b.iter(|| black_box(DfsMapExplorer::new(g.clone()).bound()));
+    });
+}
+
+fn label_machinery(c: &mut Criterion) {
+    c.bench_function("core/modified_label_large", |b| {
+        b.iter(|| {
+            black_box(rendezvous_core::ModifiedLabel::of(
+                Label::new(black_box(0xDEAD_BEEF)).unwrap(),
+            ))
+        });
+    });
+    c.bench_function("core/lex_subset_unrank", |b| {
+        b.iter(|| black_box(lex_subset_bits(64, 8, black_box(123_456_789))));
+    });
+    let g = Arc::new(generators::oriented_ring(32).unwrap());
+    let ex: Arc<dyn Explorer> = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = Fast::new(g, ex, LabelSpace::new(1 << 20).unwrap());
+    c.bench_function("core/fast_schedule_compile", |b| {
+        b.iter(|| {
+            black_box(
+                alg.schedule(Label::new(black_box(987_654)).unwrap())
+                    .unwrap()
+                    .total_rounds(),
+            )
+        });
+    });
+}
+
+fn graph_generation(c: &mut Criterion) {
+    use rand::{rngs::StdRng, SeedableRng};
+    c.bench_function("graph/erdos_renyi_100", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(7);
+            black_box(
+                generators::erdos_renyi_connected(100, 0.1, &mut rng)
+                    .unwrap()
+                    .edge_count(),
+            )
+        });
+    });
+    c.bench_function("graph/hypercube_10", |b| {
+        b.iter(|| black_box(generators::hypercube(10).unwrap().edge_count()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_throughput, walk_computation, label_machinery, graph_generation
+}
+criterion_main!(benches);

@@ -1,0 +1,186 @@
+//! Shared plumbing for the experiments: standard setups, adversarial
+//! measurement over sampled label pairs, and table rendering.
+
+use rendezvous_core::{Label, RendezvousAlgorithm};
+use rendezvous_explore::{Explorer, OrientedRingExplorer};
+use rendezvous_graph::{generators, PortLabeledGraph};
+use rendezvous_sim::adversary::{worst_case_search, Objective, WorstCase};
+use serde::Serialize;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// An oriented ring plus its optimal explorer — the standard substrate of
+/// the paper's analysis (`E = n − 1`).
+#[must_use]
+pub fn ring_setup(n: usize) -> (Arc<PortLabeledGraph>, Arc<dyn Explorer>) {
+    let g = Arc::new(generators::oriented_ring(n).expect("n >= 3"));
+    let ex: Arc<dyn Explorer> =
+        Arc::new(OrientedRingExplorer::new(g.clone()).expect("oriented ring"));
+    (g, ex)
+}
+
+/// Measured worst case of one algorithm over a set of label pairs, all
+/// start-position pairs, and a set of wake-up delays for the second agent.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Measured {
+    /// Worst observed time (rounds from the earlier agent's start).
+    pub time: u64,
+    /// Worst observed cost (total edge traversals).
+    pub cost: u64,
+}
+
+/// Exhausts positions × delays for each given label pair (both role
+/// orders) and returns the worst time and cost observed anywhere.
+///
+/// # Panics
+///
+/// Panics if any execution fails to meet within `horizon` — the paper's
+/// algorithms always meet within their bounds, so this is a correctness
+/// alarm, not a reportable outcome.
+#[must_use]
+pub fn measure_worst(
+    algorithm: &dyn RendezvousAlgorithm,
+    label_pairs: &[(u64, u64)],
+    delays: &[u64],
+    horizon: u64,
+    threads: usize,
+) -> Measured {
+    let mut worst_time = 0u64;
+    let mut worst_cost = 0u64;
+    for &(la, lb) in label_pairs {
+        for (first, second) in [(la, lb), (lb, la)] {
+            let factory = move |pa: rendezvous_graph::NodeId, pb: rendezvous_graph::NodeId| {
+                let a = algorithm
+                    .agent(Label::new(first).expect(">0"), pa)
+                    .expect("label in space");
+                let b = algorithm
+                    .agent(Label::new(second).expect(">0"), pb)
+                    .expect("label in space");
+                (
+                    Box::new(a) as Box<dyn rendezvous_sim::AgentBehavior>,
+                    Box::new(b) as Box<dyn rendezvous_sim::AgentBehavior>,
+                )
+            };
+            let wc: Option<WorstCase> = worst_case_search(
+                algorithm.graph(),
+                &factory,
+                delays,
+                Objective::Time,
+                horizon,
+                threads,
+            );
+            let wc = wc.expect("graphs have >= 2 nodes");
+            assert_ne!(
+                wc.value,
+                u64::MAX,
+                "algorithm {} failed to meet for labels ({first},{second})",
+                algorithm.name()
+            );
+            worst_time = worst_time.max(wc.time);
+            // A second sweep maximizing cost (cost maximum can occur at a
+            // different adversarial choice than the time maximum).
+            let wc_cost = worst_case_search(
+                algorithm.graph(),
+                &factory,
+                delays,
+                Objective::Cost,
+                horizon,
+                threads,
+            )
+            .expect("graphs have >= 2 nodes");
+            worst_cost = worst_cost.max(wc_cost.cost);
+        }
+    }
+    Measured {
+        time: worst_time,
+        cost: worst_cost,
+    }
+}
+
+/// The standard adversarial label-pair sample for a space of size `l`:
+/// the extremes and a middle pair (for `Cheap` the worst pair has the
+/// largest *smaller* label; for `Fast` the longest shared prefix).
+#[must_use]
+pub fn standard_label_pairs(l: u64) -> Vec<(u64, u64)> {
+    let mut pairs = vec![(1, 2), (l - 1, l), (1, l)];
+    if l >= 6 {
+        pairs.push((l / 2, l / 2 + 1));
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs
+}
+
+/// All `C(L, 2)` label pairs (exhaustive; use only for small `L`).
+#[must_use]
+pub fn all_label_pairs(l: u64) -> Vec<(u64, u64)> {
+    (1..=l)
+        .flat_map(|a| ((a + 1)..=l).map(move |b| (a, b)))
+        .collect()
+}
+
+/// The delay sample `{0, 1, E, E+1, 2E}`: beyond `E` the earlier agent's
+/// first exploration finds the sleeping partner, so larger delays add
+/// nothing (cf. the `τ > E` case in Propositions 2.1/2.2).
+#[must_use]
+pub fn standard_delays(e: u64) -> Vec<u64> {
+    let mut d = vec![0, 1, e, e + 1, 2 * e];
+    d.dedup();
+    d
+}
+
+/// Renders rows of `(name, values…)` as a GitHub-flavoured markdown table.
+#[must_use]
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendezvous_core::{Cheap, LabelSpace};
+
+    #[test]
+    fn label_pair_samples() {
+        assert_eq!(standard_label_pairs(2), vec![(1, 2)]);
+        let p = standard_label_pairs(8);
+        assert!(p.contains(&(7, 8)) && p.contains(&(1, 8)) && p.contains(&(4, 5)));
+        assert_eq!(all_label_pairs(4).len(), 6);
+    }
+
+    #[test]
+    fn measure_worst_respects_bounds_on_cheap() {
+        let (g, ex) = ring_setup(6);
+        let alg = Cheap::new(g, ex, LabelSpace::new(4).unwrap());
+        let m = measure_worst(
+            &alg,
+            &all_label_pairs(4),
+            &standard_delays(5),
+            4 * alg.time_bound(),
+            2,
+        );
+        assert!(m.time <= alg.time_bound());
+        assert!(m.cost <= alg.cost_bound());
+        assert!(m.time >= alg.exploration_bound());
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let t = markdown_table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("| 1 | 2 |"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Experiment X9 (extension) — gathering `k ≥ 2` agents by
+//! merge-and-restart on top of the paper's two-agent algorithms.
+//!
+//! The paper cites gathering as the natural generalization (§1.4); the
+//! merge-and-restart argument (see `rendezvous-core::GatheringAgent`)
+//! predicts completion within `(k−1)` pairwise-bound windows. Expected
+//! shape: rounds grow at most linearly in `k`, never exceeding
+//! `(k−1) · (two-agent time bound + max delay)`.
+
+use crate::common::ring_setup;
+use rendezvous_core::{gathering_fleet, Fast, LabelSpace, RendezvousAlgorithm};
+use rendezvous_graph::NodeId;
+use rendezvous_sim::gathering::run_gathering;
+use serde::Serialize;
+use std::sync::Arc;
+
+/// One row of the X9 table.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Ring size.
+    pub n: usize,
+    /// Fleet size.
+    pub k: usize,
+    /// Rounds until all agents shared a node.
+    pub rounds: u64,
+    /// The merge-and-restart bound `(k−1)·(time bound + max delay)`.
+    pub bound: u64,
+    /// Total edge traversals.
+    pub cost: u64,
+    /// Number of merge events observed (cluster-count decreases).
+    pub merges: usize,
+}
+
+/// Runs gatherings of increasing fleet size on an `n`-ring with label
+/// space `L` (labels and starts spread deterministically; staggered
+/// wake-ups).
+///
+/// # Panics
+///
+/// Panics if a gathering fails to complete within the analytic bound —
+/// a correctness violation of the merge-and-restart argument.
+#[must_use]
+pub fn run(n: usize, l: u64, ks: &[usize]) -> Vec<Row> {
+    let (g, ex) = ring_setup(n);
+    let space = LabelSpace::new(l).expect("l >= 2");
+    let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(g.clone(), ex, space));
+    ks.iter()
+        .map(|&k| {
+            assert!(k >= 2 && k <= n && (k as u64) <= l, "fleet must fit");
+            let placements: Vec<(u64, NodeId, u64)> = (0..k)
+                .map(|i| {
+                    let label = 1 + (i as u64 * (l - 1)) / (k as u64 - 1).max(1);
+                    let start = NodeId::new(i * n / k);
+                    let delay = (7 * i as u64) % 13;
+                    (label, start, delay)
+                })
+                .collect();
+            let max_delay = placements.iter().map(|p| p.2).max().unwrap_or(0);
+            let bound = (k as u64 - 1) * (alg.time_bound() + max_delay);
+            let fleet = gathering_fleet(&alg, &placements).expect("valid placements");
+            let out = run_gathering(&g, fleet, 4 * bound).expect("engine ok");
+            assert!(out.gathered_all(), "gathering must complete (k = {k})");
+            let merges = out
+                .cluster_history
+                .windows(2)
+                .filter(|w| w[1] < w[0])
+                .count()
+                + 1; // the initial k clusters count as the baseline
+            Row {
+                n,
+                k,
+                rounds: out.rounds_executed,
+                bound,
+                cost: out.cost(),
+                merges,
+            }
+        })
+        .collect()
+}
+
+/// Renders the table.
+#[must_use]
+pub fn render(rows: &[Row]) -> String {
+    let header = ["n", "k", "rounds", "bound (k-1)(T+d)", "cost", "merge events"];
+    let body = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.k.to_string(),
+                r.rounds.to_string(),
+                r.bound.to_string(),
+                r.cost.to_string(),
+                r.merges.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    crate::common::markdown_table(&header, &body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x9_gathering_scales_linearly_in_k() {
+        let rows = run(12, 32, &[2, 3, 5]);
+        for r in &rows {
+            assert!(r.rounds <= r.bound, "k={}: {} > {}", r.k, r.rounds, r.bound);
+        }
+        // more agents may take longer but never superlinearly
+        assert!(rows[2].rounds <= 4 * rows[0].bound);
+    }
+}

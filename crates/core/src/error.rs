@@ -1,0 +1,62 @@
+//! Error type for algorithm construction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing rendezvous algorithms or agents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The label space must contain at least two labels (two agents with
+    /// distinct labels must fit).
+    LabelSpaceTooSmall {
+        /// The rejected size.
+        size: u64,
+    },
+    /// A label was outside `{1, …, L}`.
+    LabelOutOfRange {
+        /// The offending label value.
+        label: u64,
+        /// The space size `L`.
+        space: u64,
+    },
+    /// A relabeling weight parameter was invalid (`w = 0` or `w > L`).
+    InvalidWeight {
+        /// The rejected weight.
+        weight: u64,
+        /// The space size `L`.
+        space: u64,
+    },
+    /// An iterated algorithm was configured with zero levels.
+    NoLevels,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::LabelSpaceTooSmall { size } => {
+                write!(f, "label space must have size >= 2, got {size}")
+            }
+            CoreError::LabelOutOfRange { label, space } => {
+                write!(f, "label {label} outside the label space {{1, …, {space}}}")
+            }
+            CoreError::InvalidWeight { weight, space } => {
+                write!(f, "relabeling weight {weight} invalid for label space size {space}")
+            }
+            CoreError::NoLevels => write!(f, "iterated algorithm needs at least one level"),
+        }
+    }
+}
+
+impl Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_values() {
+        let e = CoreError::LabelOutOfRange { label: 9, space: 4 };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+    }
+}

@@ -1,0 +1,285 @@
+//! Agent labels, the label space `{1, …, L}`, and the prefix-free label
+//! transformation `M(ℓ)` of Algorithm `Fast`.
+
+use crate::CoreError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An agent's label: a positive integer from the label space `{1, …, L}`.
+///
+/// Labels are the **only** source of asymmetry between agents: the paper
+/// shows that without distinct labels, deterministic rendezvous is
+/// impossible in symmetric networks such as oriented rings.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_core::Label;
+///
+/// let l = Label::new(5).unwrap();
+/// assert_eq!(l.get(), 5);
+/// assert!(Label::new(0).is_none()); // labels are 1-based
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Label(u64);
+
+impl Label {
+    /// Creates a label; returns `None` for 0 (labels are 1-based).
+    #[must_use]
+    pub fn new(value: u64) -> Option<Self> {
+        (value > 0).then_some(Label(value))
+    }
+
+    /// The label value.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The binary representation `c₁ … c_r` (most significant bit first).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rendezvous_core::Label;
+    ///
+    /// let l = Label::new(6).unwrap();
+    /// assert_eq!(l.bits(), vec![true, true, false]); // 110
+    /// ```
+    #[must_use]
+    pub fn bits(self) -> Vec<bool> {
+        let z = 64 - self.0.leading_zeros();
+        (0..z).rev().map(|i| (self.0 >> i) & 1 == 1).collect()
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// The label space `{1, …, L}` both agents draw their labels from. The
+/// algorithms' complexity bounds are functions of `L` (and `E`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabelSpace {
+    size: u64,
+}
+
+impl LabelSpace {
+    /// Creates the space `{1, …, size}`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LabelSpaceTooSmall`] if `size < 2` (two agents with
+    /// distinct labels must fit).
+    pub fn new(size: u64) -> Result<Self, CoreError> {
+        if size < 2 {
+            return Err(CoreError::LabelSpaceTooSmall { size });
+        }
+        Ok(LabelSpace { size })
+    }
+
+    /// The size `L`.
+    #[must_use]
+    pub const fn size(self) -> u64 {
+        self.size
+    }
+
+    /// Checks that `label` belongs to this space.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::LabelOutOfRange`] otherwise.
+    pub fn check(self, label: Label) -> Result<(), CoreError> {
+        if label.get() > self.size {
+            return Err(CoreError::LabelOutOfRange {
+                label: label.get(),
+                space: self.size,
+            });
+        }
+        Ok(())
+    }
+
+    /// Iterates over all labels of the space. Handy in exhaustive
+    /// experiments; don't call on astronomically large spaces.
+    pub fn labels(self) -> impl Iterator<Item = Label> {
+        (1..=self.size).map(Label)
+    }
+
+    /// `⌊log₂(L − 1)⌋`, the quantity appearing in the paper's `Fast`
+    /// bounds (0 when `L = 2`).
+    #[must_use]
+    pub fn floor_log2_l_minus_1(self) -> u64 {
+        let x = self.size - 1;
+        u64::from(63 - x.leading_zeros().min(63)).min(63)
+    }
+}
+
+impl fmt::Display for LabelSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{1, …, {}}}", self.size)
+    }
+}
+
+/// The transformed label `M(ℓ)` from §2 (originally from the asynchronous
+/// rendezvous literature): if `c₁ … c_r` is the binary representation of
+/// `ℓ`, then `M(ℓ) = c₁c₁c₂c₂…c_rc_r 01`.
+///
+/// Key properties (proved by the paper, property-tested here):
+///
+/// * `M(x)` is never a **prefix** of `M(y)` for `x ≠ y`,
+/// * `M(x) ≠ M(y)` for `x ≠ y`,
+/// * `|M(ℓ)| = 2z + 2` where `z = 1 + ⌊log₂ ℓ⌋`.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_core::{Label, ModifiedLabel};
+///
+/// let m = ModifiedLabel::of(Label::new(2).unwrap()); // binary 10
+/// assert_eq!(m.bits(), &[true, true, false, false, false, true]); // 110001
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ModifiedLabel {
+    bits: Vec<bool>,
+}
+
+impl ModifiedLabel {
+    /// Computes `M(ℓ)`.
+    #[must_use]
+    pub fn of(label: Label) -> Self {
+        let mut bits = Vec::new();
+        for b in label.bits() {
+            bits.push(b);
+            bits.push(b);
+        }
+        bits.push(false);
+        bits.push(true);
+        ModifiedLabel { bits }
+    }
+
+    /// The bit sequence.
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Length `m = 2z + 2`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Never true: every modified label ends in `01`.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// Returns `true` if `self` is a prefix of `other`.
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &ModifiedLabel) -> bool {
+        other.bits.starts_with(&self.bits)
+    }
+}
+
+impl fmt::Display for ModifiedLabel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            write!(f, "{}", u8::from(b))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn label_bits_msb_first() {
+        assert_eq!(Label::new(1).unwrap().bits(), vec![true]);
+        assert_eq!(Label::new(5).unwrap().bits(), vec![true, false, true]);
+        assert_eq!(
+            Label::new(12).unwrap().bits(),
+            vec![true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn space_validation() {
+        assert!(LabelSpace::new(1).is_err());
+        let s = LabelSpace::new(4).unwrap();
+        assert!(s.check(Label::new(4).unwrap()).is_ok());
+        assert!(s.check(Label::new(5).unwrap()).is_err());
+        assert_eq!(s.labels().count(), 4);
+    }
+
+    #[test]
+    fn floor_log_values() {
+        assert_eq!(LabelSpace::new(2).unwrap().floor_log2_l_minus_1(), 0);
+        assert_eq!(LabelSpace::new(3).unwrap().floor_log2_l_minus_1(), 1);
+        assert_eq!(LabelSpace::new(5).unwrap().floor_log2_l_minus_1(), 2);
+        assert_eq!(LabelSpace::new(1025).unwrap().floor_log2_l_minus_1(), 10);
+    }
+
+    #[test]
+    fn modified_label_of_small_values() {
+        // ℓ = 1: binary 1 -> 11 01
+        assert_eq!(
+            ModifiedLabel::of(Label::new(1).unwrap()).to_string(),
+            "1101"
+        );
+        // ℓ = 2: binary 10 -> 1100 01
+        assert_eq!(
+            ModifiedLabel::of(Label::new(2).unwrap()).to_string(),
+            "110001"
+        );
+        // ℓ = 3: binary 11 -> 1111 01
+        assert_eq!(
+            ModifiedLabel::of(Label::new(3).unwrap()).to_string(),
+            "111101"
+        );
+    }
+
+    #[test]
+    fn modified_label_length_formula() {
+        for v in 1..200u64 {
+            let l = Label::new(v).unwrap();
+            let z = 1 + v.ilog2() as usize;
+            assert_eq!(ModifiedLabel::of(l).len(), 2 * z + 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn modified_labels_are_distinct(a in 1u64..5_000, b in 1u64..5_000) {
+            prop_assume!(a != b);
+            let ma = ModifiedLabel::of(Label::new(a).unwrap());
+            let mb = ModifiedLabel::of(Label::new(b).unwrap());
+            prop_assert_ne!(&ma, &mb);
+        }
+
+        #[test]
+        fn modified_labels_are_prefix_free(a in 1u64..5_000, b in 1u64..5_000) {
+            prop_assume!(a != b);
+            let ma = ModifiedLabel::of(Label::new(a).unwrap());
+            let mb = ModifiedLabel::of(Label::new(b).unwrap());
+            prop_assert!(!ma.is_prefix_of(&mb));
+            prop_assert!(!mb.is_prefix_of(&ma));
+        }
+
+        #[test]
+        fn first_differing_index_exists_within_shorter(a in 1u64..5_000, b in 1u64..5_000) {
+            prop_assume!(a != b);
+            let ma = ModifiedLabel::of(Label::new(a).unwrap());
+            let mb = ModifiedLabel::of(Label::new(b).unwrap());
+            let min = ma.len().min(mb.len());
+            let j = (0..min).find(|&i| ma.bits()[i] != mb.bits()[i]);
+            prop_assert!(j.is_some(), "prefix-freeness forces a difference within the shorter label");
+        }
+    }
+}

@@ -1,0 +1,380 @@
+//! Schedules: the common compiled form of all three algorithms.
+//!
+//! Every algorithm in the paper is a sequence of *phases*, each either an
+//! execution of `EXPLORE` (taking exactly `E` rounds, idling after an early
+//! finish) or a waiting period. `Cheap` is `[Explore, Wait(2ℓE), Explore]`;
+//! `Fast` maps the bits of a transformed label to explore/wait phases. A
+//! [`Schedule`] captures this shape, and [`ScheduleBehavior`] executes it
+//! as a simulator agent.
+
+use rendezvous_explore::{ExploreRun, Explorer};
+use rendezvous_graph::{NodeId, Port, PortLabeledGraph};
+use rendezvous_sim::{Action, AgentBehavior, Observation};
+use std::fmt;
+use std::sync::Arc;
+
+/// One phase of a schedule.
+#[derive(Clone)]
+pub enum Phase {
+    /// Execute the exploration procedure once (exactly `bound()` rounds,
+    /// idling if the walk finishes early).
+    Explore(Arc<dyn Explorer>),
+    /// Stay idle for the given number of rounds.
+    Wait(u64),
+}
+
+impl Phase {
+    /// Duration of the phase in rounds.
+    #[must_use]
+    pub fn rounds(&self) -> u64 {
+        match self {
+            Phase::Explore(e) => e.bound() as u64,
+            Phase::Wait(r) => *r,
+        }
+    }
+
+    /// Returns `true` for exploration phases.
+    #[must_use]
+    pub fn is_explore(&self) -> bool {
+        matches!(self, Phase::Explore(_))
+    }
+}
+
+impl fmt::Debug for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Explore(e) => write!(f, "Explore[{} x{}]", e.name(), e.bound()),
+            Phase::Wait(r) => write!(f, "Wait[{r}]"),
+        }
+    }
+}
+
+/// A finite sequence of phases — the deterministic plan an agent follows
+/// from its wake-up round.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_core::{Phase, Schedule};
+/// use rendezvous_explore::BoundedWalkExplorer;
+/// use std::sync::Arc;
+///
+/// let explore = Arc::new(BoundedWalkExplorer::new(4));
+/// let s = Schedule::new(vec![
+///     Phase::Explore(explore.clone()),
+///     Phase::Wait(8),
+///     Phase::Explore(explore),
+/// ]);
+/// assert_eq!(s.total_rounds(), 4 + 8 + 4);
+/// assert_eq!(s.explore_phases(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Schedule {
+    phases: Vec<Phase>,
+}
+
+impl Schedule {
+    /// Creates a schedule from phases.
+    #[must_use]
+    pub fn new(phases: Vec<Phase>) -> Self {
+        Schedule { phases }
+    }
+
+    /// The phases.
+    #[must_use]
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total duration in rounds.
+    #[must_use]
+    pub fn total_rounds(&self) -> u64 {
+        self.phases.iter().map(Phase::rounds).sum()
+    }
+
+    /// Number of exploration phases — this times `E` upper-bounds the
+    /// agent's individual cost.
+    #[must_use]
+    pub fn explore_phases(&self) -> u64 {
+        self.phases.iter().filter(|p| p.is_explore()).count() as u64
+    }
+
+    /// Appends another schedule (used by the iterated, unknown-`E`
+    /// algorithms of the Conclusion).
+    pub fn extend(&mut self, other: Schedule) {
+        self.phases.extend(other.phases);
+    }
+
+    /// One-character-per-phase summary: `E` for an exploration, `w` for a
+    /// wait of at most one exploration bound, `W` for a longer wait.
+    /// Mirrors the `T = (1, S₁, S₁, …)` pictures in the paper.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rendezvous_core::{Phase, Schedule};
+    /// use rendezvous_explore::BoundedWalkExplorer;
+    /// use std::sync::Arc;
+    ///
+    /// let e = Arc::new(BoundedWalkExplorer::new(4));
+    /// let s = Schedule::new(vec![
+    ///     Phase::Explore(e.clone()),
+    ///     Phase::Wait(16),
+    ///     Phase::Explore(e),
+    /// ]);
+    /// assert_eq!(s.describe(), "EWE");
+    /// ```
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let e = self
+            .phases
+            .iter()
+            .filter_map(|p| match p {
+                Phase::Explore(ex) => Some(ex.bound() as u64),
+                Phase::Wait(_) => None,
+            })
+            .max()
+            .unwrap_or(0);
+        self.phases
+            .iter()
+            .map(|p| match p {
+                Phase::Explore(_) => 'E',
+                Phase::Wait(r) if *r <= e => 'w',
+                Phase::Wait(_) => 'W',
+            })
+            .collect()
+    }
+}
+
+/// Executes a [`Schedule`] as a simulator agent.
+///
+/// The behavior is constructed with the agent's start node and tracks its
+/// own position on the map as it moves — the "port-labelled map with marked
+/// start" scenario of §1.2. (Explorers that ignore position, like trial-DFS
+/// or UXS, simply never use the tracked value.) After the schedule is
+/// exhausted the agent stays idle forever; the algorithms guarantee that
+/// rendezvous happens before that.
+pub struct ScheduleBehavior {
+    graph: Arc<PortLabeledGraph>,
+    phases: Vec<Phase>,
+    position: NodeId,
+    phase_idx: usize,
+    round_in_phase: u64,
+    run: Option<Box<dyn ExploreRun>>,
+    /// Entry port of the move made on the previous round *within the
+    /// current run* (None on a run's first round, after a stay, or across
+    /// phase boundaries).
+    last_entry: Option<Port>,
+}
+
+impl fmt::Debug for ScheduleBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScheduleBehavior")
+            .field("phases", &self.phases)
+            .field("position", &self.position)
+            .field("phase_idx", &self.phase_idx)
+            .field("round_in_phase", &self.round_in_phase)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ScheduleBehavior {
+    /// Creates the behavior for an agent starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a node of `graph`.
+    #[must_use]
+    pub fn new(graph: Arc<PortLabeledGraph>, schedule: Schedule, start: NodeId) -> Self {
+        assert!(graph.contains(start), "start node out of range");
+        ScheduleBehavior {
+            graph,
+            phases: schedule.phases,
+            position: start,
+            phase_idx: 0,
+            round_in_phase: 0,
+            run: None,
+            last_entry: None,
+        }
+    }
+
+    /// The node the behavior believes it occupies (its map position).
+    #[must_use]
+    pub fn position(&self) -> NodeId {
+        self.position
+    }
+
+    /// Skips zero-length phases and starts runs lazily.
+    fn settle(&mut self) {
+        while let Some(phase) = self.phases.get(self.phase_idx) {
+            if self.round_in_phase >= phase.rounds() {
+                self.phase_idx += 1;
+                self.round_in_phase = 0;
+                self.run = None;
+                self.last_entry = None;
+                continue;
+            }
+            if let Phase::Explore(explorer) = phase {
+                if self.run.is_none() {
+                    self.run = Some(explorer.begin(self.position));
+                    self.last_entry = None;
+                }
+            }
+            break;
+        }
+    }
+}
+
+impl AgentBehavior for ScheduleBehavior {
+    fn next_action(&mut self, observation: Observation) -> Action {
+        self.settle();
+        let Some(phase) = self.phases.get(self.phase_idx) else {
+            return Action::Stay; // schedule exhausted
+        };
+        debug_assert_eq!(
+            observation.degree,
+            self.graph.degree(self.position),
+            "map position diverged from the simulator's ground truth"
+        );
+        let action = match phase {
+            Phase::Wait(_) => Action::Stay,
+            Phase::Explore(_) => {
+                let run = self.run.as_mut().expect("settle() started the run");
+                match run.next_move(observation.degree, self.last_entry) {
+                    Some(p) => Action::Move(p),
+                    None => Action::Stay,
+                }
+            }
+        };
+        self.round_in_phase += 1;
+        match action {
+            Action::Move(p) => {
+                let t = self
+                    .graph
+                    .traverse(self.position, p)
+                    .expect("explorers emit valid ports");
+                self.position = t.target;
+                self.last_entry = Some(t.entry_port);
+            }
+            Action::Stay => self.last_entry = None,
+        }
+        action
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendezvous_explore::{BoundedWalkExplorer, DfsMapExplorer};
+    use rendezvous_graph::generators;
+    use rendezvous_sim::run_solo;
+
+    #[test]
+    fn schedule_accounting() {
+        let e = Arc::new(BoundedWalkExplorer::new(3));
+        let s = Schedule::new(vec![
+            Phase::Wait(5),
+            Phase::Explore(e.clone()),
+            Phase::Wait(0),
+            Phase::Explore(e),
+        ]);
+        assert_eq!(s.total_rounds(), 11);
+        assert_eq!(s.explore_phases(), 2);
+        assert_eq!(s.phases().len(), 4);
+    }
+
+    #[test]
+    fn behavior_waits_then_explores() {
+        let g = Arc::new(generators::oriented_ring(5).unwrap());
+        let e = Arc::new(BoundedWalkExplorer::new(4));
+        let s = Schedule::new(vec![Phase::Wait(2), Phase::Explore(e)]);
+        let mut b = ScheduleBehavior::new(g.clone(), s, NodeId::new(0));
+        let trace = run_solo(&g, &mut b, NodeId::new(0), 8).unwrap();
+        // rounds 1-2: stay; rounds 3-6: clockwise; rounds 7-8: exhausted.
+        let moved: Vec<bool> = trace.actions.iter().map(|a| a.is_move()).collect();
+        assert_eq!(
+            moved,
+            vec![false, false, true, true, true, true, false, false]
+        );
+        assert_eq!(trace.positions.last(), Some(&NodeId::new(4)));
+    }
+
+    #[test]
+    fn zero_length_wait_phases_are_skipped() {
+        let g = Arc::new(generators::oriented_ring(4).unwrap());
+        let e = Arc::new(BoundedWalkExplorer::new(2));
+        let s = Schedule::new(vec![Phase::Wait(0), Phase::Explore(e)]);
+        let mut b = ScheduleBehavior::new(g.clone(), s, NodeId::new(1));
+        let trace = run_solo(&g, &mut b, NodeId::new(1), 3).unwrap();
+        assert!(trace.actions[0].is_move(), "first round must already explore");
+        assert_eq!(trace.cost(), 2);
+    }
+
+    #[test]
+    fn consecutive_explorations_restart_from_current_node() {
+        // Cheap's second exploration starts wherever the first ended; the
+        // DFS explorer must be re-begun from the new position.
+        let g = Arc::new(generators::path(4).unwrap());
+        let dfs = Arc::new(DfsMapExplorer::new(g.clone()));
+        let e = dfs.bound() as u64;
+        let s = Schedule::new(vec![
+            Phase::Explore(dfs.clone()),
+            Phase::Explore(dfs.clone()),
+        ]);
+        let mut b = ScheduleBehavior::new(g.clone(), s, NodeId::new(0));
+        let trace = run_solo(&g, &mut b, NodeId::new(0), 2 * e).unwrap();
+        // Each exploration visits all nodes; positions stay in range and
+        // the second phase's walk is valid from its own start.
+        let mid = trace.positions[e as usize];
+        assert!(g.contains(mid));
+        // coverage in both halves:
+        let firsthalf: std::collections::HashSet<_> =
+            trace.positions[..=e as usize].iter().copied().collect();
+        assert_eq!(firsthalf.len(), 4);
+        let secondhalf: std::collections::HashSet<_> =
+            trace.positions[e as usize..].iter().copied().collect();
+        assert_eq!(secondhalf.len(), 4);
+    }
+
+    #[test]
+    fn position_tracking_matches_ground_truth() {
+        let g = Arc::new(generators::grid(3, 3).unwrap());
+        let dfs = Arc::new(DfsMapExplorer::new(g.clone()));
+        let s = Schedule::new(vec![Phase::Explore(dfs)]);
+        let mut b = ScheduleBehavior::new(g.clone(), s, NodeId::new(4));
+        let rounds = b.phases[0].rounds();
+        let trace = run_solo(&g, &mut b, NodeId::new(4), rounds).unwrap();
+        assert_eq!(b.position(), *trace.positions.last().unwrap());
+    }
+
+    #[test]
+    fn exhausted_schedule_idles_forever() {
+        let g = Arc::new(generators::oriented_ring(4).unwrap());
+        let s = Schedule::new(vec![Phase::Wait(1)]);
+        let mut b = ScheduleBehavior::new(g.clone(), s, NodeId::new(0));
+        let trace = run_solo(&g, &mut b, NodeId::new(0), 10).unwrap();
+        assert_eq!(trace.cost(), 0);
+    }
+
+    #[test]
+    fn describe_matches_the_papers_pictures() {
+        use crate::{Fast, Label, LabelSpace, RendezvousAlgorithm};
+        use rendezvous_explore::OrientedRingExplorer;
+        let g = Arc::new(generators::oriented_ring(5).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = Fast::new(g, ex, LabelSpace::new(4).unwrap());
+        // ℓ = 1: M(1) = 1101 -> T = 1 11 11 00 11 -> E EE EE ww EE
+        let s = alg.schedule(Label::new(1).unwrap()).unwrap();
+        assert_eq!(s.describe(), "EEEEEwwEE");
+    }
+
+    #[test]
+    fn schedule_extend_concatenates() {
+        let e = Arc::new(BoundedWalkExplorer::new(1));
+        let mut a = Schedule::new(vec![Phase::Explore(e.clone())]);
+        let b = Schedule::new(vec![Phase::Wait(3), Phase::Explore(e)]);
+        a.extend(b);
+        assert_eq!(a.total_rounds(), 5);
+        assert_eq!(a.explore_phases(), 2);
+    }
+}

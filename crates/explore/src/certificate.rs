@@ -1,0 +1,227 @@
+//! Exploration driven by structural certificates (§1.2): a Hamiltonian
+//! cycle gives `E = n − 1`; an Euler circuit gives `E = e − 1`.
+
+use crate::{ExploreError, ExploreRun, Explorer, PlannedRun};
+use rendezvous_graph::{EulerCircuit, HamiltonianCycle, NodeId, Port, PortLabeledGraph};
+use std::sync::Arc;
+
+/// Exploration along a known Hamiltonian cycle: from any start, follow the
+/// cycle for `n − 1` hops. `E = n − 1` is optimal for Hamiltonian graphs.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_explore::{Explorer, HamiltonianExplorer, verify_explorer};
+/// use rendezvous_graph::{generators, HamiltonianCycle};
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(generators::hypercube(3).unwrap());
+/// let cycle = HamiltonianCycle::known_hypercube(&g).unwrap();
+/// let ex = HamiltonianExplorer::new(g.clone(), cycle).unwrap();
+/// assert_eq!(ex.bound(), 7);
+/// assert!(verify_explorer(&g, &ex).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct HamiltonianExplorer {
+    /// walks[v] = the n−1 exit ports following the cycle starting from v.
+    walks: Vec<Vec<Port>>,
+    bound: usize,
+}
+
+impl HamiltonianExplorer {
+    /// Precomputes, for every start node, the port walk following `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::UnsuitableGraph`] if the cycle does not match the
+    /// graph (wrong length or non-adjacent consecutive nodes — normally
+    /// prevented by [`HamiltonianCycle`]'s own validation).
+    pub fn new(
+        graph: Arc<PortLabeledGraph>,
+        cycle: HamiltonianCycle,
+    ) -> Result<Self, ExploreError> {
+        let n = graph.node_count();
+        if cycle.len() != n {
+            return Err(ExploreError::UnsuitableGraph {
+                explorer: "HamiltonianExplorer",
+                reason: format!("cycle length {} != node count {n}", cycle.len()),
+            });
+        }
+        let order = cycle.order();
+        let mut walks = vec![Vec::new(); n];
+        for pos in 0..n {
+            let mut walk = Vec::with_capacity(n - 1);
+            for k in 0..n.saturating_sub(1) {
+                let u = order[(pos + k) % n];
+                let v = order[(pos + k + 1) % n];
+                let p = graph
+                    .port_to(u, v)
+                    .ok_or_else(|| ExploreError::UnsuitableGraph {
+                        explorer: "HamiltonianExplorer",
+                        reason: format!("cycle nodes {u} and {v} not adjacent"),
+                    })?;
+                walk.push(p);
+            }
+            walks[order[pos].index()] = walk;
+        }
+        Ok(HamiltonianExplorer {
+            walks,
+            bound: n.saturating_sub(1),
+        })
+    }
+}
+
+impl Explorer for HamiltonianExplorer {
+    fn bound(&self) -> usize {
+        self.bound
+    }
+
+    fn begin(&self, start: NodeId) -> Box<dyn ExploreRun> {
+        Box::new(PlannedRun::new(self.walks[start.index()].clone()))
+    }
+
+    fn name(&self) -> &'static str {
+        "hamiltonian"
+    }
+}
+
+/// Exploration along a known Euler circuit: from any start, follow the
+/// circuit (rotated to begin there) for `e − 1` hops. `E = e − 1` (§1.2).
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_explore::{EulerianExplorer, Explorer, verify_explorer};
+/// use rendezvous_graph::generators;
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(generators::torus(3, 3).unwrap()); // 4-regular: eulerian
+/// let ex = EulerianExplorer::new(g.clone()).unwrap();
+/// assert_eq!(ex.bound(), g.edge_count() - 1);
+/// assert!(verify_explorer(&g, &ex).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EulerianExplorer {
+    /// walks[v] = the rotated circuit's first e−1 exit ports from v.
+    walks: Vec<Vec<Port>>,
+    bound: usize,
+}
+
+impl EulerianExplorer {
+    /// Finds an Euler circuit and precomputes the rotated walk for every
+    /// start node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`rendezvous_graph::GraphError`] (wrapped) if the graph
+    /// has odd degrees or is disconnected.
+    pub fn new(graph: Arc<PortLabeledGraph>) -> Result<Self, ExploreError> {
+        let n = graph.node_count();
+        let e = graph.edge_count();
+        let circuit = EulerCircuit::find(&graph, NodeId::new(0))?;
+        let nodes = circuit.node_sequence(&graph); // length e + 1, first == last
+        let exits = circuit.exits();
+        let mut walks: Vec<Option<Vec<Port>>> = vec![None; n];
+        let take = e.saturating_sub(1);
+        for pos in 0..e {
+            let v = nodes[pos];
+            if walks[v.index()].is_some() {
+                continue; // first occurrence gives the canonical rotation
+            }
+            let mut walk = Vec::with_capacity(take);
+            for k in 0..take {
+                walk.push(exits[(pos + k) % e]);
+            }
+            walks[v.index()] = Some(walk);
+        }
+        let walks = walks
+            .into_iter()
+            .map(|w| w.expect("euler circuit visits every node"))
+            .collect();
+        Ok(EulerianExplorer { walks, bound: take })
+    }
+}
+
+impl Explorer for EulerianExplorer {
+    fn bound(&self) -> usize {
+        self.bound
+    }
+
+    fn begin(&self, start: NodeId) -> Box<dyn ExploreRun> {
+        Box::new(PlannedRun::new(self.walks[start.index()].clone()))
+    }
+
+    fn name(&self) -> &'static str {
+        "eulerian"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_explorer;
+    use rendezvous_graph::generators;
+
+    #[test]
+    fn hamiltonian_explorer_on_known_families() {
+        let cases: Vec<(Arc<PortLabeledGraph>, HamiltonianCycle)> = vec![
+            {
+                let g = Arc::new(generators::oriented_ring(9).unwrap());
+                let c = HamiltonianCycle::known_ring(&g).unwrap();
+                (g, c)
+            },
+            {
+                let g = Arc::new(generators::complete(6).unwrap());
+                let c = HamiltonianCycle::known_complete(&g).unwrap();
+                (g, c)
+            },
+            {
+                let g = Arc::new(generators::hypercube(4).unwrap());
+                let c = HamiltonianCycle::known_hypercube(&g).unwrap();
+                (g, c)
+            },
+            {
+                let g = Arc::new(generators::torus(4, 5).unwrap());
+                let c = HamiltonianCycle::known_torus(&g, 4, 5).unwrap();
+                (g, c)
+            },
+        ];
+        for (g, c) in cases {
+            let ex = HamiltonianExplorer::new(g.clone(), c).unwrap();
+            assert_eq!(ex.bound(), g.node_count() - 1);
+            assert!(verify_explorer(&g, &ex).is_ok());
+        }
+    }
+
+    #[test]
+    fn eulerian_explorer_on_eulerian_graphs() {
+        for g in [
+            generators::oriented_ring(7).unwrap(),
+            generators::torus(3, 4).unwrap(),
+            generators::complete(5).unwrap(), // 4-regular
+            generators::hypercube(4).unwrap(), // 4-regular
+        ] {
+            let g = Arc::new(g);
+            let ex = EulerianExplorer::new(g.clone()).unwrap();
+            assert_eq!(ex.bound(), g.edge_count() - 1);
+            assert!(verify_explorer(&g, &ex).is_ok());
+        }
+    }
+
+    #[test]
+    fn eulerian_rejects_odd_degree_graphs() {
+        let g = Arc::new(generators::star(3).unwrap());
+        assert!(EulerianExplorer::new(g).is_err());
+    }
+
+    #[test]
+    fn euler_bound_on_rings_is_optimal() {
+        // On a ring e = n, so E_euler = n - 1: the optimal exploration time
+        // (on rings DFS happens to achieve the same, without backtracking).
+        let g = Arc::new(generators::oriented_ring(10).unwrap());
+        let euler = EulerianExplorer::new(g.clone()).unwrap();
+        let dfs = crate::DfsMapExplorer::new(g.clone());
+        assert_eq!(euler.bound(), g.node_count() - 1);
+        assert!(euler.bound() <= dfs.bound());
+    }
+}

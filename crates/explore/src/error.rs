@@ -1,0 +1,87 @@
+//! Error type for explorer construction.
+
+use rendezvous_graph::{GraphError, NodeId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing exploration procedures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExploreError {
+    /// The underlying graph failed a structural requirement (for example,
+    /// the oriented-ring explorer was given a graph that is not an oriented
+    /// ring).
+    UnsuitableGraph {
+        /// Which explorer rejected the graph.
+        explorer: &'static str,
+        /// Why the graph was rejected.
+        reason: String,
+    },
+    /// A candidate procedure failed to cover the graph from some start node
+    /// within the proposed bound.
+    CoverageFailure {
+        /// Which explorer detected the failure.
+        explorer: &'static str,
+        /// A start node from which coverage failed.
+        start: NodeId,
+    },
+    /// A search-based constructor (UXS) exhausted its budget without finding
+    /// a covering sequence.
+    SearchExhausted {
+        /// Which constructor gave up.
+        explorer: &'static str,
+        /// Budget description for the error message.
+        budget: String,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::UnsuitableGraph { explorer, reason } => {
+                write!(f, "{explorer}: graph unsuitable: {reason}")
+            }
+            ExploreError::CoverageFailure { explorer, start } => {
+                write!(f, "{explorer}: procedure fails to cover the graph from {start}")
+            }
+            ExploreError::SearchExhausted { explorer, budget } => {
+                write!(f, "{explorer}: no covering sequence found within {budget}")
+            }
+            ExploreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for ExploreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExploreError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ExploreError {
+    fn from(e: GraphError) -> Self {
+        ExploreError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = ExploreError::Graph(GraphError::NotConnected);
+        assert!(e.to_string().contains("graph error"));
+        assert!(Error::source(&e).is_some());
+        let e = ExploreError::CoverageFailure {
+            explorer: "test",
+            start: NodeId::new(3),
+        };
+        assert!(e.to_string().contains("v3"));
+    }
+}

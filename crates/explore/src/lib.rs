@@ -1,0 +1,54 @@
+//! Exploration procedures with known worst-case bounds `E` — the substrate
+//! on which every rendezvous algorithm of Miller & Pelc (PODC 2014) is
+//! built.
+//!
+//! The paper's algorithms never look at the graph directly; they interleave
+//! executions of a procedure `EXPLORE` (which visits all nodes within `E`
+//! rounds from any start) with waiting periods whose lengths encode the
+//! agent's label. This crate provides `EXPLORE` in all knowledge scenarios
+//! discussed in §1.2:
+//!
+//! | scenario | explorer | bound `E` |
+//! |---|---|---|
+//! | map + marked start | [`DfsMapExplorer`] | ≤ `2n − 3` (exact, per graph) |
+//! | oriented ring of known size | [`OrientedRingExplorer`] | `n − 1` |
+//! | Hamiltonian certificate | [`HamiltonianExplorer`] | `n − 1` |
+//! | Eulerian certificate | [`EulerianExplorer`] | `e − 1` |
+//! | map without marked start | [`TrialDfsExplorer`] | ≤ `n(2n − 2)` (exact, measured) |
+//! | only a size bound (UXS) | [`UxsExplorer`] | sequence length (verified) |
+//! | no knowledge at all | [`ExplorationFamily`] (doubling levels) | `E_i` per level |
+//!
+//! # Examples
+//!
+//! ```
+//! use rendezvous_explore::{DfsMapExplorer, Explorer, verify_explorer};
+//! use rendezvous_graph::generators;
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(generators::grid(3, 4).unwrap());
+//! let explore = DfsMapExplorer::new(g.clone());
+//! // The E-bound contract: coverage from every start within `bound()`.
+//! let worst = verify_explorer(&g, &explore).expect("contract holds");
+//! assert_eq!(worst, explore.bound());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod certificate;
+mod dfs;
+mod error;
+mod explorer;
+mod family;
+mod ring;
+mod trial_dfs;
+mod uxs;
+
+pub use certificate::{EulerianExplorer, HamiltonianExplorer};
+pub use dfs::{dfs_walk, DfsMapExplorer};
+pub use error::ExploreError;
+pub use explorer::{coverage_time, verify_explorer, ExploreRun, Explorer, PlannedRun};
+pub use family::{ExplorationFamily, RingDoublingFamily};
+pub use ring::{BoundedWalkExplorer, OrientedRingExplorer};
+pub use trial_dfs::{closed_dfs_walk, TrialDfsExplorer};
+pub use uxs::{UxsExplorer, UxsSequence};

@@ -1,0 +1,200 @@
+//! Exploration of oriented rings: the sharpest possible bound `E = n − 1`.
+//!
+//! §3: "starting from any node an agent can explore the ring going `n − 1`
+//! steps clockwise. This is, of course, an optimal exploration." This is the
+//! exploration procedure under which the paper proves both lower bounds.
+
+use crate::{ExploreError, ExploreRun, Explorer};
+use rendezvous_graph::{NodeId, Port, PortLabeledGraph};
+use std::sync::Arc;
+
+/// Walks a fixed number of steps clockwise (always exiting port 0).
+#[derive(Debug, Clone)]
+struct ClockwiseRun {
+    remaining: usize,
+}
+
+impl ExploreRun for ClockwiseRun {
+    fn next_move(&mut self, _degree: usize, _entry_port: Option<Port>) -> Option<Port> {
+        if self.remaining == 0 {
+            None
+        } else {
+            self.remaining -= 1;
+            Some(Port::new(0))
+        }
+    }
+}
+
+/// Optimal exploration of an oriented ring: `n − 1` clockwise steps.
+///
+/// Construction validates that the graph really is an oriented ring, i.e.
+/// that starting anywhere and repeatedly leaving through port 0 traverses a
+/// Hamiltonian cycle.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_explore::{Explorer, OrientedRingExplorer, verify_explorer};
+/// use rendezvous_graph::generators;
+/// use std::sync::Arc;
+///
+/// let g = Arc::new(generators::oriented_ring(10).unwrap());
+/// let ex = OrientedRingExplorer::new(g.clone()).unwrap();
+/// assert_eq!(ex.bound(), 9);
+/// assert!(verify_explorer(&g, &ex).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OrientedRingExplorer {
+    steps: usize,
+}
+
+impl OrientedRingExplorer {
+    /// Validates the oriented-ring structure and returns the explorer.
+    ///
+    /// # Errors
+    ///
+    /// [`ExploreError::UnsuitableGraph`] if the graph is not 2-regular or
+    /// the port-0 walk from node 0 does not close into a Hamiltonian cycle.
+    pub fn new(graph: Arc<PortLabeledGraph>) -> Result<Self, ExploreError> {
+        let n = graph.node_count();
+        let fail = |reason: String| ExploreError::UnsuitableGraph {
+            explorer: "OrientedRingExplorer",
+            reason,
+        };
+        if n < 3 {
+            return Err(fail(format!("ring needs n >= 3, got {n}")));
+        }
+        if !graph.is_regular() || graph.max_degree() != 2 {
+            return Err(fail("graph is not 2-regular".into()));
+        }
+        // Follow port 0 from node 0: must visit all nodes and close, always
+        // entering through port 1 (otherwise port 0 would lead us backwards
+        // somewhere and the walk from another start would not be clockwise).
+        let mut at = NodeId::new(0);
+        let mut seen = vec![false; n];
+        seen[0] = true;
+        for step in 1..=n {
+            let t = graph.traverse(at, Port::new(0))?;
+            if t.entry_port != Port::new(1) {
+                return Err(fail(format!(
+                    "edge out of {at} enters {} via {} instead of p1: ports are not oriented",
+                    t.target, t.entry_port
+                )));
+            }
+            at = t.target;
+            if step < n {
+                if seen[at.index()] {
+                    return Err(fail("port-0 walk revisits a node early".into()));
+                }
+                seen[at.index()] = true;
+            }
+        }
+        if at != NodeId::new(0) {
+            return Err(fail("port-0 walk does not close into a cycle".into()));
+        }
+        Ok(OrientedRingExplorer { steps: n - 1 })
+    }
+
+    /// Number of clockwise steps the procedure takes (`n − 1`).
+    #[must_use]
+    pub fn steps(&self) -> usize {
+        self.steps
+    }
+}
+
+impl Explorer for OrientedRingExplorer {
+    fn bound(&self) -> usize {
+        self.steps
+    }
+
+    fn begin(&self, _start: NodeId) -> Box<dyn ExploreRun> {
+        Box::new(ClockwiseRun {
+            remaining: self.steps,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "oriented-ring"
+    }
+}
+
+/// Exploration by a fixed-length clockwise walk of `steps` port-0 moves.
+///
+/// This is `EXPLORE_i` for oriented rings of *unknown* size: a walk of
+/// `2^i − 1` steps explores every oriented ring with at most `2^i` nodes.
+/// Used by the iterated (unknown `E`) algorithms of the paper's Conclusion,
+/// where its bound is an overshoot rather than sharp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundedWalkExplorer {
+    steps: usize,
+}
+
+impl BoundedWalkExplorer {
+    /// An explorer that walks exactly `steps` clockwise steps. Covers any
+    /// oriented ring with at most `steps + 1` nodes.
+    #[must_use]
+    pub fn new(steps: usize) -> Self {
+        BoundedWalkExplorer { steps }
+    }
+}
+
+impl Explorer for BoundedWalkExplorer {
+    fn bound(&self) -> usize {
+        self.steps
+    }
+
+    fn begin(&self, _start: NodeId) -> Box<dyn ExploreRun> {
+        Box::new(ClockwiseRun {
+            remaining: self.steps,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "bounded-walk"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_explorer;
+    use rendezvous_graph::generators;
+
+    #[test]
+    fn explores_every_oriented_ring_sharply() {
+        for n in [3usize, 4, 7, 12, 33] {
+            let g = Arc::new(generators::oriented_ring(n).unwrap());
+            let ex = OrientedRingExplorer::new(g.clone()).unwrap();
+            assert_eq!(ex.bound(), n - 1);
+            assert_eq!(verify_explorer(&g, &ex), Ok(n - 1));
+        }
+    }
+
+    #[test]
+    fn rejects_non_rings() {
+        let g = Arc::new(generators::complete(4).unwrap());
+        assert!(OrientedRingExplorer::new(g).is_err());
+        let g = Arc::new(generators::path(5).unwrap());
+        assert!(OrientedRingExplorer::new(g).is_err());
+    }
+
+    #[test]
+    fn rejects_scrambled_rings() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // A scrambled ring is 2-regular but its ports are not oriented;
+        // with 12 nodes and seed 5 at least one node has a flipped port.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = Arc::new(generators::scrambled_ring(12, &mut rng).unwrap());
+        assert!(OrientedRingExplorer::new(g).is_err());
+    }
+
+    #[test]
+    fn bounded_walk_covers_smaller_rings() {
+        let g = Arc::new(generators::oriented_ring(5).unwrap());
+        let ex = BoundedWalkExplorer::new(9); // 2^i - 1 walk for i where 2^i >= 5... overshoot
+        assert!(verify_explorer(&g, &ex).is_ok());
+        let short = BoundedWalkExplorer::new(3);
+        assert!(verify_explorer(&g, &short).is_err());
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the exploration substrate: the `E`-bound contract
+//! (coverage from every start within the declared bound) on randomized
+//! graphs, for every explorer.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use rendezvous_explore::{
+    closed_dfs_walk, dfs_walk, verify_explorer, DfsMapExplorer, EulerianExplorer, Explorer,
+    OrientedRingExplorer, TrialDfsExplorer, UxsExplorer,
+};
+use rendezvous_graph::{analysis, generators, NodeId};
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dfs_explorer_contract_on_random_graphs(n in 3usize..20, seed in 0u64..1_000, p in 0.1f64..0.9) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(generators::erdos_renyi_connected(n, p, &mut rng).unwrap());
+        let ex = DfsMapExplorer::new(g.clone());
+        let worst = verify_explorer(&g, &ex).expect("coverage within bound");
+        prop_assert_eq!(worst, ex.bound(), "bound is sharp by construction");
+        prop_assert!(ex.bound() <= 2 * n - 2);
+    }
+
+    #[test]
+    fn dfs_walk_discovers_all_nodes(n in 2usize..20, seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::random_tree(n, &mut rng).unwrap();
+        for s in g.nodes() {
+            let walk = dfs_walk(&g, s);
+            let mut at = s;
+            let mut seen = vec![false; n];
+            seen[s.index()] = true;
+            for p in walk {
+                at = g.neighbor(at, p).unwrap();
+                seen[at.index()] = true;
+            }
+            prop_assert!(seen.iter().all(|&b| b), "walk from {s} missed a node");
+        }
+    }
+
+    #[test]
+    fn closed_walk_is_closed_and_covers(n in 2usize..16, seed in 0u64..1_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi_connected(n, 0.35, &mut rng).unwrap();
+        for s in g.nodes() {
+            let walk = closed_dfs_walk(&g, s);
+            let mut at = s;
+            let mut seen = vec![false; n];
+            seen[s.index()] = true;
+            for p in walk {
+                at = g.neighbor(at, p).unwrap();
+                seen[at.index()] = true;
+            }
+            prop_assert_eq!(at, s, "walk must return to its start");
+            prop_assert!(seen.iter().all(|&b| b));
+        }
+    }
+
+    #[test]
+    fn trial_dfs_contract_on_random_graphs(n in 3usize..12, seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(generators::erdos_renyi_connected(n, 0.3, &mut rng).unwrap());
+        let ex = TrialDfsExplorer::new(g.clone()).unwrap();
+        prop_assert!(verify_explorer(&g, &ex).is_ok());
+        // measured bound never exceeds the defensive simulation budget
+        prop_assert!(ex.bound() <= n * 4 * n);
+    }
+
+    #[test]
+    fn eulerian_contract_on_even_graphs(w in 3usize..6, h in 3usize..6) {
+        // Tori are 4-regular, hence Eulerian.
+        let g = Arc::new(generators::torus(w, h).unwrap());
+        let ex = EulerianExplorer::new(g.clone()).unwrap();
+        prop_assert_eq!(ex.bound(), g.edge_count() - 1);
+        prop_assert!(verify_explorer(&g, &ex).is_ok());
+    }
+
+    #[test]
+    fn uxs_search_contract_on_scrambled_rings(n in 3usize..9, seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(generators::scrambled_ring(n, &mut rng).unwrap());
+        let ex = UxsExplorer::search(g.clone(), 4_000, &mut rng).unwrap();
+        prop_assert!(verify_explorer(&g, &ex).is_ok());
+    }
+
+    #[test]
+    fn ring_explorer_is_optimal(n in 3usize..40) {
+        let g = Arc::new(generators::oriented_ring(n).unwrap());
+        let ex = OrientedRingExplorer::new(g.clone()).unwrap();
+        // n - 1 is a lower bound for any exploration (must visit n nodes),
+        // and the explorer achieves it from every start.
+        prop_assert_eq!(verify_explorer(&g, &ex), Ok(n - 1));
+    }
+
+    #[test]
+    fn dfs_bound_dominated_by_trial_dfs(n in 3usize..12, seed in 0u64..300) {
+        // Knowing your start position never hurts: the marked-map DFS bound
+        // is at most the unmarked trial-DFS bound.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = Arc::new(generators::erdos_renyi_connected(n, 0.4, &mut rng).unwrap());
+        prop_assume!(analysis::is_connected(&g));
+        let dfs = DfsMapExplorer::new(g.clone());
+        let trial = TrialDfsExplorer::new(g).unwrap();
+        prop_assert!(dfs.bound() <= trial.bound() || trial.bound() == 0);
+    }
+}
+
+#[test]
+fn explorers_tolerate_begin_from_every_node() {
+    let g = Arc::new(generators::grid(3, 3).unwrap());
+    let ex = DfsMapExplorer::new(g.clone());
+    for v in g.nodes() {
+        let mut run = ex.begin(v);
+        // the first move must be a valid port of the start node
+        let mv = run.next_move(g.degree(v), None);
+        if let Some(p) = mv {
+            assert!(p.index() < g.degree(v));
+        }
+    }
+}
+
+#[test]
+fn verify_explorer_reports_the_failing_start() {
+    // A bounded walk too short for the ring fails from every start; the
+    // reported witness is the first one (node 0).
+    let g = generators::oriented_ring(8).unwrap();
+    let short = rendezvous_explore::BoundedWalkExplorer::new(2);
+    assert_eq!(verify_explorer(&g, &short), Err(NodeId::new(0)));
+}

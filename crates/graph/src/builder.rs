@@ -1,0 +1,268 @@
+//! Incremental construction of [`PortLabeledGraph`]s.
+
+use crate::graph::HalfEdge;
+use crate::{GraphError, NodeId, Port, PortLabeledGraph};
+use std::collections::BTreeMap;
+
+/// Builder for [`PortLabeledGraph`] enforcing all structural invariants.
+///
+/// Two styles of edge insertion are supported and may be mixed:
+///
+/// * [`GraphBuilder::add_edge`] assigns the smallest free port number at each
+///   endpoint automatically;
+/// * [`GraphBuilder::add_edge_with_ports`] lets the caller pick the exact
+///   port numbers (needed for oriented rings and other canonical labellings).
+///
+/// [`GraphBuilder::build`] verifies that the ports at every node form the
+/// contiguous range `0..deg` and returns the immutable graph.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_graph::{GraphBuilder, NodeId, Port};
+///
+/// // A triangle with automatic port assignment.
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(NodeId::new(0), NodeId::new(1)).unwrap();
+/// b.add_edge(NodeId::new(1), NodeId::new(2)).unwrap();
+/// b.add_edge(NodeId::new(2), NodeId::new(0)).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.edge_count(), 3);
+/// assert!(g.is_regular());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    /// ports[v] maps port index -> half edge; BTreeMap so that contiguity
+    /// checking and deterministic iteration are easy.
+    ports: Vec<BTreeMap<usize, HalfEdge>>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph on `node_count` isolated nodes.
+    #[must_use]
+    pub fn new(node_count: usize) -> Self {
+        GraphBuilder {
+            ports: vec![BTreeMap::new(); node_count],
+        }
+    }
+
+    /// Number of nodes the final graph will have.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.ports.len()
+    }
+
+    /// Current degree (number of assigned ports) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.ports[node.index()].len()
+    }
+
+    fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() >= self.ports.len() {
+            Err(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.ports.len(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_new_edge(&self, u: NodeId, v: NodeId) -> Result<(), GraphError> {
+        self.check_node(u)?;
+        self.check_node(v)?;
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        if self.ports[u.index()].values().any(|h| h.target == v) {
+            return Err(GraphError::DuplicateEdge { u, v });
+        }
+        Ok(())
+    }
+
+    /// Smallest port index not yet used at `node`.
+    fn next_free_port(&self, node: NodeId) -> usize {
+        let used = &self.ports[node.index()];
+        (0..).find(|i| !used.contains_key(i)).expect("finite ports")
+    }
+
+    /// Adds the undirected edge `{u, v}` with automatically chosen ports
+    /// (the smallest free index at each endpoint). Returns the chosen ports
+    /// `(port at u, port at v)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] for unknown endpoints,
+    /// * [`GraphError::SelfLoop`] if `u == v`,
+    /// * [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<(Port, Port), GraphError> {
+        self.check_new_edge(u, v)?;
+        let pu = Port::new(self.next_free_port(u));
+        let pv = Port::new(self.next_free_port(v));
+        self.insert(u, pu, v, pv);
+        Ok((pu, pv))
+    }
+
+    /// Adds the undirected edge `{u, v}` with explicit port numbers.
+    ///
+    /// # Errors
+    ///
+    /// In addition to the conditions of [`GraphBuilder::add_edge`]:
+    ///
+    /// * [`GraphError::PortTaken`] if either port slot is already in use.
+    pub fn add_edge_with_ports(
+        &mut self,
+        u: NodeId,
+        port_at_u: Port,
+        v: NodeId,
+        port_at_v: Port,
+    ) -> Result<(), GraphError> {
+        self.check_new_edge(u, v)?;
+        if self.ports[u.index()].contains_key(&port_at_u.index()) {
+            return Err(GraphError::PortTaken {
+                node: u,
+                port: port_at_u,
+            });
+        }
+        if self.ports[v.index()].contains_key(&port_at_v.index()) {
+            return Err(GraphError::PortTaken {
+                node: v,
+                port: port_at_v,
+            });
+        }
+        self.insert(u, port_at_u, v, port_at_v);
+        Ok(())
+    }
+
+    fn insert(&mut self, u: NodeId, pu: Port, v: NodeId, pv: Port) {
+        self.ports[u.index()].insert(
+            pu.index(),
+            HalfEdge {
+                target: v,
+                entry: pv,
+            },
+        );
+        self.ports[v.index()].insert(
+            pv.index(),
+            HalfEdge {
+                target: u,
+                entry: pu,
+            },
+        );
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::Empty`] if the builder has no nodes,
+    /// * [`GraphError::NonContiguousPorts`] if explicit port assignment left
+    ///   a gap at some node (ports must be exactly `0..deg`).
+    pub fn build(self) -> Result<PortLabeledGraph, GraphError> {
+        if self.ports.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut adj = Vec::with_capacity(self.ports.len());
+        for (vi, slots) in self.ports.into_iter().enumerate() {
+            let deg = slots.len();
+            let mut list = Vec::with_capacity(deg);
+            for (expected, (idx, half)) in slots.into_iter().enumerate() {
+                if idx != expected {
+                    return Err(GraphError::NonContiguousPorts {
+                        node: NodeId::new(vi),
+                        missing: Port::new(expected),
+                    });
+                }
+                list.push(half);
+            }
+            adj.push(list);
+        }
+        Ok(PortLabeledGraph::from_adjacency(adj))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+    fn p(i: usize) -> Port {
+        Port::new(i)
+    }
+
+    #[test]
+    fn auto_ports_are_smallest_free() {
+        let mut b = GraphBuilder::new(3);
+        let (p0, p1) = b.add_edge(n(0), n(1)).unwrap();
+        assert_eq!((p0, p1), (p(0), p(0)));
+        let (p0, _) = b.add_edge(n(0), n(2)).unwrap();
+        assert_eq!(p0, p(1));
+    }
+
+    #[test]
+    fn rejects_self_loops_and_duplicates() {
+        let mut b = GraphBuilder::new(2);
+        assert!(matches!(
+            b.add_edge(n(0), n(0)),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        b.add_edge(n(0), n(1)).unwrap();
+        assert!(matches!(
+            b.add_edge(n(1), n(0)),
+            Err(GraphError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_taken_port() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_ports(n(0), p(0), n(1), p(0)).unwrap();
+        assert!(matches!(
+            b.add_edge_with_ports(n(0), p(0), n(2), p(0)),
+            Err(GraphError::PortTaken { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_port_gaps_at_build() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge_with_ports(n(0), p(1), n(1), p(0)).unwrap();
+        assert!(matches!(
+            b.build(),
+            Err(GraphError::NonContiguousPorts { missing, .. }) if missing == p(0)
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(
+            GraphBuilder::new(0).build(),
+            Err(GraphError::Empty)
+        ));
+    }
+
+    #[test]
+    fn single_node_graph_is_fine() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn mixed_explicit_and_auto_ports() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge_with_ports(n(0), p(1), n(1), p(0)).unwrap();
+        // auto fills the gap at node 0 with port 0
+        let (p0, _) = b.add_edge(n(0), n(2)).unwrap();
+        assert_eq!(p0, p(0));
+        let g = b.build().unwrap();
+        assert_eq!(g.degree(n(0)), 2);
+    }
+}

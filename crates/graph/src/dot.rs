@@ -1,0 +1,56 @@
+//! Graphviz DOT export, useful for eyeballing small port-labelled graphs.
+
+use crate::PortLabeledGraph;
+use std::fmt::Write as _;
+
+/// Renders the graph in Graphviz DOT format, with port numbers as head and
+/// tail labels.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_graph::{dot, generators};
+///
+/// let g = generators::path(2).unwrap();
+/// let out = dot::to_dot(&g);
+/// assert!(out.contains("graph"));
+/// assert!(out.contains("taillabel"));
+/// ```
+#[must_use]
+pub fn to_dot(graph: &PortLabeledGraph) -> String {
+    let mut out = String::from("graph ports {\n  node [shape=circle];\n");
+    for e in graph.edges() {
+        writeln!(
+            out,
+            "  {} -- {} [taillabel=\"{}\", headlabel=\"{}\"];",
+            e.u.index(),
+            e.v.index(),
+            e.port_at_u.index(),
+            e.port_at_v.index()
+        )
+        .expect("writing to String cannot fail");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn dot_lists_every_edge_once() {
+        let g = generators::complete(4).unwrap();
+        let out = to_dot(&g);
+        assert_eq!(out.matches(" -- ").count(), 6);
+    }
+
+    #[test]
+    fn dot_contains_port_labels() {
+        let g = generators::oriented_ring(3).unwrap();
+        let out = to_dot(&g);
+        assert!(out.contains("taillabel=\"0\""));
+        assert!(out.contains("headlabel=\"1\""));
+    }
+}

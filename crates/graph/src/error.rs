@@ -1,0 +1,121 @@
+//! Error type for graph construction and navigation.
+
+use crate::{NodeId, Port};
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or navigating a
+/// [`PortLabeledGraph`](crate::PortLabeledGraph).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// A node index was outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A port index was outside `0..deg(node)`.
+    PortOutOfRange {
+        /// Node at which the port was used.
+        node: NodeId,
+        /// The offending port.
+        port: Port,
+        /// Degree of the node.
+        degree: usize,
+    },
+    /// An edge would connect a node to itself.
+    SelfLoop {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// An edge between the two nodes already exists (simple graphs only).
+    DuplicateEdge {
+        /// First endpoint.
+        u: NodeId,
+        /// Second endpoint.
+        v: NodeId,
+    },
+    /// A port slot was assigned twice at the same node.
+    PortTaken {
+        /// Node at which the collision happened.
+        node: NodeId,
+        /// The port that was already in use.
+        port: Port,
+    },
+    /// After building, the ports at a node were not the contiguous range
+    /// `0..deg`.
+    NonContiguousPorts {
+        /// Node with the gap.
+        node: NodeId,
+        /// Smallest missing port index.
+        missing: Port,
+    },
+    /// The operation requires a connected graph.
+    NotConnected,
+    /// The graph has no nodes.
+    Empty,
+    /// A generator was asked for an impossible parameter combination
+    /// (for example a ring with fewer than three nodes).
+    InvalidParameter {
+        /// Human-readable description of the violated requirement.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range (graph has {node_count} nodes)")
+            }
+            GraphError::PortOutOfRange { node, port, degree } => {
+                write!(f, "port {port} out of range at {node} (degree {degree})")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at {node} is not allowed"),
+            GraphError::DuplicateEdge { u, v } => {
+                write!(f, "duplicate edge between {u} and {v} (simple graphs only)")
+            }
+            GraphError::PortTaken { node, port } => {
+                write!(f, "port {port} at {node} is already assigned")
+            }
+            GraphError::NonContiguousPorts { node, missing } => {
+                write!(f, "ports at {node} are not contiguous: {missing} is missing")
+            }
+            GraphError::NotConnected => write!(f, "operation requires a connected graph"),
+            GraphError::Empty => write!(f, "graph must have at least one node"),
+            GraphError::InvalidParameter { reason } => {
+                write!(f, "invalid generator parameter: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_descriptive() {
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(2),
+        };
+        assert!(e.to_string().contains("v2"));
+        let e = GraphError::PortOutOfRange {
+            node: NodeId::new(1),
+            port: Port::new(4),
+            degree: 2,
+        };
+        let s = e.to_string();
+        assert!(s.contains("p4") && s.contains("v1") && s.contains('2'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_error<E: Error>(_: E) {}
+        takes_error(GraphError::NotConnected);
+    }
+}

@@ -1,0 +1,373 @@
+//! The anonymous port-labelled graph at the heart of the model.
+
+use crate::{GraphError, NodeId, Port};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One directed half of an undirected edge: leaving some node through a port
+/// lands you at `target`, entering it through `entry`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub(crate) struct HalfEdge {
+    pub(crate) target: NodeId,
+    pub(crate) entry: Port,
+}
+
+/// Result of traversing one edge: where you arrive and through which port.
+///
+/// This is exactly what an agent perceives when it moves: "when an agent
+/// enters a node, it learns the node's degree and the port of entry".
+/// The degree is available via [`PortLabeledGraph::degree`] on `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Traversal {
+    /// The node reached by the move.
+    pub target: NodeId,
+    /// The port at `target` through which the agent arrived.
+    pub entry_port: Port,
+}
+
+/// An undirected edge described from both endpoints, with `u < v`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Port at `u` leading to `v`.
+    pub port_at_u: Port,
+    /// Larger endpoint.
+    pub v: NodeId,
+    /// Port at `v` leading to `u`.
+    pub port_at_v: Port,
+}
+
+/// An undirected, simple, anonymous graph whose edge endpoints carry local
+/// port numbers.
+///
+/// This is the network model of Miller & Pelc (PODC 2014), §1.2:
+///
+/// * nodes carry **no identifiers visible to agents** (the [`NodeId`]s used
+///   here are simulator-side bookkeeping);
+/// * at each node `v` the incident edges have **distinct port numbers**
+///   `0..deg(v)`;
+/// * port numbers at the two endpoints of an edge are **unrelated**.
+///
+/// Instances are immutable once built. Use [`GraphBuilder`](crate::GraphBuilder)
+/// or a generator from [`generators`](crate::generators) to construct one; both
+/// enforce the structural invariants (symmetry, port bijectivity, simplicity),
+/// so every reachable `PortLabeledGraph` is valid by construction.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_graph::{generators, NodeId, Port};
+///
+/// let ring = generators::oriented_ring(5).unwrap();
+/// assert_eq!(ring.node_count(), 5);
+/// assert_eq!(ring.edge_count(), 5);
+/// // On an oriented ring, port 0 always moves clockwise:
+/// let t = ring.traverse(NodeId::new(0), Port::new(0)).unwrap();
+/// assert_eq!(t.target, NodeId::new(1));
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PortLabeledGraph {
+    adj: Vec<Vec<HalfEdge>>,
+}
+
+impl PortLabeledGraph {
+    /// Builds a graph directly from adjacency lists. Internal: the builder
+    /// and generators are responsible for the invariants, which are then
+    /// re-checked here in debug builds.
+    pub(crate) fn from_adjacency(adj: Vec<Vec<HalfEdge>>) -> Self {
+        let g = PortLabeledGraph { adj };
+        debug_assert!(g.check_invariants().is_ok());
+        g
+    }
+
+    /// Verifies the structural invariants: symmetry of half-edges, no
+    /// self-loops, no parallel edges, in-range targets.
+    ///
+    /// This is exposed so that deserialized graphs can be validated:
+    /// `serde` cannot enforce the cross-field invariants on its own.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`GraphError`].
+    pub fn check_invariants(&self) -> Result<(), GraphError> {
+        let n = self.adj.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+        for (ui, ports) in self.adj.iter().enumerate() {
+            let u = NodeId::new(ui);
+            let mut seen = vec![false; n];
+            for (pi, half) in ports.iter().enumerate() {
+                let ti = half.target.index();
+                if ti >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: half.target,
+                        node_count: n,
+                    });
+                }
+                if ti == ui {
+                    return Err(GraphError::SelfLoop { node: u });
+                }
+                if seen[ti] {
+                    return Err(GraphError::DuplicateEdge { u, v: half.target });
+                }
+                seen[ti] = true;
+                let back = self
+                    .adj
+                    .get(ti)
+                    .and_then(|l| l.get(half.entry.index()))
+                    .copied();
+                match back {
+                    Some(b) if b.target == u && b.entry == Port::new(pi) => {}
+                    _ => {
+                        return Err(GraphError::PortOutOfRange {
+                            node: half.target,
+                            port: half.entry,
+                            degree: self.adj[ti].len(),
+                        })
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of nodes `n`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges `e`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Degree of `node`, i.e. the number of ports available there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range; use [`PortLabeledGraph::contains`]
+    /// to check first when handling untrusted input.
+    #[must_use]
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.index()].len()
+    }
+
+    /// Returns `true` if `node` is a node of this graph.
+    #[must_use]
+    pub fn contains(&self, node: NodeId) -> bool {
+        node.index() < self.adj.len()
+    }
+
+    /// Traverses the edge leaving `node` through `port`.
+    ///
+    /// Returns where the move lands and the entry port on the far side —
+    /// exactly the observation an agent makes.
+    ///
+    /// # Errors
+    ///
+    /// * [`GraphError::NodeOutOfRange`] if `node` is not a node,
+    /// * [`GraphError::PortOutOfRange`] if `port >= deg(node)`.
+    pub fn traverse(&self, node: NodeId, port: Port) -> Result<Traversal, GraphError> {
+        let ports = self
+            .adj
+            .get(node.index())
+            .ok_or(GraphError::NodeOutOfRange {
+                node,
+                node_count: self.adj.len(),
+            })?;
+        let half = ports
+            .get(port.index())
+            .ok_or(GraphError::PortOutOfRange {
+                node,
+                port,
+                degree: ports.len(),
+            })?;
+        Ok(Traversal {
+            target: half.target,
+            entry_port: half.entry,
+        })
+    }
+
+    /// The neighbor reached through `port` at `node`, without the entry port.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PortLabeledGraph::traverse`].
+    pub fn neighbor(&self, node: NodeId, port: Port) -> Result<NodeId, GraphError> {
+        Ok(self.traverse(node, port)?.target)
+    }
+
+    /// The port at `from` whose edge leads to `to`, if the two are adjacent.
+    #[must_use]
+    pub fn port_to(&self, from: NodeId, to: NodeId) -> Option<Port> {
+        self.adj
+            .get(from.index())?
+            .iter()
+            .position(|h| h.target == to)
+            .map(Port::new)
+    }
+
+    /// Iterates over all node identifiers `0..n`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len()).map(NodeId::new)
+    }
+
+    /// Iterates over the ports `0..deg(node)` of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn ports(&self, node: NodeId) -> impl Iterator<Item = Port> + '_ {
+        (0..self.degree(node)).map(Port::new)
+    }
+
+    /// Iterates over the neighbors of `node` in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[node.index()].iter().map(|h| h.target)
+    }
+
+    /// Iterates over all undirected edges, each reported once with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.adj.iter().enumerate().flat_map(move |(ui, ports)| {
+            ports.iter().enumerate().filter_map(move |(pi, half)| {
+                if ui < half.target.index() {
+                    Some(Edge {
+                        u: NodeId::new(ui),
+                        port_at_u: Port::new(pi),
+                        v: half.target,
+                        port_at_v: half.entry,
+                    })
+                } else {
+                    None
+                }
+            })
+        })
+    }
+
+    /// Maximum degree over all nodes.
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Minimum degree over all nodes.
+    #[must_use]
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Returns `true` if every node has the same degree `d`.
+    #[must_use]
+    pub fn is_regular(&self) -> bool {
+        self.max_degree() == self.min_degree()
+    }
+}
+
+impl fmt::Debug for PortLabeledGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "PortLabeledGraph(n={}, e={})",
+            self.node_count(),
+            self.edge_count()
+        )?;
+        for v in self.nodes() {
+            write!(f, "  {v}:")?;
+            for p in self.ports(v) {
+                let t = self.traverse(v, p).expect("valid by construction");
+                write!(f, " {p}->{}({})", t.target, t.entry_port)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn traverse_and_back_is_identity() {
+        let g = generators::oriented_ring(6).unwrap();
+        for v in g.nodes() {
+            for p in g.ports(v) {
+                let t = g.traverse(v, p).unwrap();
+                let back = g.traverse(t.target, t.entry_port).unwrap();
+                assert_eq!(back.target, v);
+                assert_eq!(back.entry_port, p);
+            }
+        }
+    }
+
+    #[test]
+    fn traverse_rejects_bad_inputs() {
+        let g = generators::oriented_ring(4).unwrap();
+        assert!(matches!(
+            g.traverse(NodeId::new(9), Port::new(0)),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.traverse(NodeId::new(0), Port::new(2)),
+            Err(GraphError::PortOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn edges_are_reported_once() {
+        let g = generators::complete(5).unwrap();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 10);
+        for e in &edges {
+            assert!(e.u < e.v);
+            assert_eq!(g.neighbor(e.u, e.port_at_u).unwrap(), e.v);
+            assert_eq!(g.neighbor(e.v, e.port_at_v).unwrap(), e.u);
+        }
+    }
+
+    #[test]
+    fn port_to_finds_the_right_port() {
+        let g = generators::oriented_ring(5).unwrap();
+        let p = g.port_to(NodeId::new(2), NodeId::new(3)).unwrap();
+        assert_eq!(p, Port::new(0)); // clockwise
+        let p = g.port_to(NodeId::new(2), NodeId::new(1)).unwrap();
+        assert_eq!(p, Port::new(1)); // counter-clockwise
+        assert_eq!(g.port_to(NodeId::new(0), NodeId::new(2)), None);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = generators::star(4).unwrap();
+        assert_eq!(g.max_degree(), 4);
+        assert_eq!(g.min_degree(), 1);
+        assert!(!g.is_regular());
+        let r = generators::oriented_ring(7).unwrap();
+        assert!(r.is_regular());
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_graph() {
+        let g = generators::hypercube(3).unwrap();
+        let json = serde_json::to_string(&g).unwrap();
+        let back: PortLabeledGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+        assert!(back.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn debug_output_is_nonempty() {
+        let g = generators::path(3).unwrap();
+        let s = format!("{g:?}");
+        assert!(s.contains("n=3"));
+        assert!(s.contains("v0"));
+    }
+}

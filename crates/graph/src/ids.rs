@@ -1,0 +1,153 @@
+//! Strongly-typed identifiers for nodes and ports.
+//!
+//! Agents in the model of Miller & Pelc cannot perceive node identities, but
+//! the *simulator* needs them to place agents and detect meetings. Ports, in
+//! contrast, are visible to agents: at a node of degree `d` the incident edge
+//! endpoints are labelled `0..d`. Keeping the two as distinct newtypes
+//! ([`NodeId`], [`Port`]) prevents the classic bug of feeding a node index
+//! where a port number is expected.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node inside one [`PortLabeledGraph`](crate::PortLabeledGraph).
+///
+/// Node identifiers are dense indices `0..n`. They exist for the benefit of
+/// the simulator and analysis code only — rendezvous agents never observe
+/// them (the graphs are *anonymous*).
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_graph::NodeId;
+///
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from a dense index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the underlying dense index.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+impl From<NodeId> for usize {
+    fn from(id: NodeId) -> usize {
+        id.0
+    }
+}
+
+/// A local port number at some node.
+///
+/// At a node of degree `d`, the incident edges carry distinct port numbers
+/// `0..d`. Port numberings at the two endpoints of an edge are unrelated.
+/// Ports are the *only* navigational information visible to agents.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_graph::Port;
+///
+/// let p = Port::new(0);
+/// assert_eq!(p.index(), 0);
+/// assert_eq!(format!("{p}"), "p0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Port(usize);
+
+impl Port {
+    /// Creates a port from its local index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        Port(index)
+    }
+
+    /// Returns the local index of the port.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for Port {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for Port {
+    fn from(index: usize) -> Self {
+        Port(index)
+    }
+}
+
+impl From<Port> for usize {
+    fn from(port: Port) -> usize {
+        port.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_round_trips_through_usize() {
+        let v = NodeId::new(42);
+        assert_eq!(usize::from(v), 42);
+        assert_eq!(NodeId::from(42usize), v);
+    }
+
+    #[test]
+    fn port_round_trips_through_usize() {
+        let p = Port::new(7);
+        assert_eq!(usize::from(p), 7);
+        assert_eq!(Port::from(7usize), p);
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(Port::new(0) < Port::new(1));
+    }
+
+    #[test]
+    fn display_is_nonempty_and_distinct() {
+        assert_eq!(NodeId::new(5).to_string(), "v5");
+        assert_eq!(Port::new(5).to_string(), "p5");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let v = NodeId::new(9);
+        let s = serde_json::to_string(&v).unwrap();
+        assert_eq!(s, "9");
+        let back: NodeId = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property tests for the graph substrate: structural invariants hold for
+//! every generated graph, and the analysis functions agree with first
+//! principles.
+
+use proptest::prelude::*;
+use rendezvous_graph::{analysis, generators, EulerCircuit, GraphBuilder, NodeId, Port};
+
+fn arbitrary_connected_graph() -> impl Strategy<Value = rendezvous_graph::PortLabeledGraph> {
+    (3usize..24, 0u64..1_000, 0..4u8).prop_map(|(n, seed, family)| {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        match family {
+            0 => generators::erdos_renyi_connected(n, 0.3, &mut rng).unwrap(),
+            1 => generators::random_tree(n, &mut rng).unwrap(),
+            2 => generators::scrambled_ring(n.max(3), &mut rng).unwrap(),
+            _ => generators::oriented_ring(n.max(3)).unwrap(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_graphs_satisfy_all_invariants(g in arbitrary_connected_graph()) {
+        prop_assert!(g.check_invariants().is_ok());
+        prop_assert!(analysis::is_connected(&g));
+        // handshake lemma
+        let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    #[test]
+    fn traverse_is_an_involution(g in arbitrary_connected_graph()) {
+        for v in g.nodes() {
+            for p in g.ports(v) {
+                let t = g.traverse(v, p).unwrap();
+                let back = g.traverse(t.target, t.entry_port).unwrap();
+                prop_assert_eq!(back.target, v);
+                prop_assert_eq!(back.entry_port, p);
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_distances_satisfy_edge_lipschitz(g in arbitrary_connected_graph()) {
+        // Neighbouring nodes have distances differing by at most 1.
+        let d = analysis::bfs_distances(&g, NodeId::new(0));
+        for e in g.edges() {
+            let du = d[e.u.index()].unwrap() as i64;
+            let dv = d[e.v.index()].unwrap() as i64;
+            prop_assert!((du - dv).abs() <= 1);
+        }
+    }
+
+    #[test]
+    fn diameter_bounds(g in arbitrary_connected_graph()) {
+        let n = g.node_count();
+        let diam = analysis::diameter(&g).unwrap();
+        prop_assert!(diam < n);
+        // diameter at least eccentricity of node 0 / 1... trivially:
+        prop_assert!(diam >= analysis::eccentricity(&g, NodeId::new(0)).unwrap());
+    }
+
+    #[test]
+    fn euler_circuit_exists_exactly_for_even_degrees(g in arbitrary_connected_graph()) {
+        let all_even = g.nodes().all(|v| g.degree(v) % 2 == 0);
+        let circuit = EulerCircuit::find(&g, NodeId::new(0));
+        prop_assert_eq!(circuit.is_ok(), all_even);
+        if let Ok(c) = circuit {
+            prop_assert_eq!(c.len(), g.edge_count());
+            // circuit closes
+            let seq = c.node_sequence(&g);
+            prop_assert_eq!(seq.first(), seq.last());
+        }
+    }
+
+    #[test]
+    fn builder_rejects_whatever_breaks_simplicity(
+        n in 2usize..10,
+        edges in proptest::collection::vec((0usize..10, 0usize..10), 1..30),
+    ) {
+        // Inserting arbitrary (possibly bad) edges either fails loudly or
+        // results in a valid graph — never a silently broken one.
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            let _ = b.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+        if let Ok(g) = b.build() {
+            prop_assert!(g.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn scrambled_rings_are_rings(n in 3usize..30, seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::scrambled_ring(n, &mut rng).unwrap();
+        prop_assert!(g.is_regular());
+        prop_assert_eq!(g.max_degree(), 2);
+        prop_assert_eq!(g.edge_count(), n);
+        prop_assert!(analysis::is_connected(&g));
+    }
+
+    #[test]
+    fn port_to_agrees_with_traverse(g in arbitrary_connected_graph()) {
+        for v in g.nodes() {
+            for u in g.neighbors(v) {
+                let p = g.port_to(v, u).unwrap();
+                prop_assert_eq!(g.neighbor(v, p).unwrap(), u);
+            }
+        }
+        // non-adjacent pairs yield None
+        let n = g.node_count();
+        for vi in 0..n {
+            let v = NodeId::new(vi);
+            for ui in 0..n {
+                let u = NodeId::new(ui);
+                if u == v { continue; }
+                let adjacent = g.neighbors(v).any(|w| w == u);
+                prop_assert_eq!(g.port_to(v, u).is_some(), adjacent);
+            }
+        }
+    }
+}
+
+#[test]
+fn ports_are_exactly_zero_to_degree() {
+    let g = generators::complete(6).unwrap();
+    for v in g.nodes() {
+        let deg = g.degree(v);
+        assert!(g.traverse(v, Port::new(deg)).is_err());
+        for p in 0..deg {
+            assert!(g.traverse(v, Port::new(p)).is_ok());
+        }
+    }
+}

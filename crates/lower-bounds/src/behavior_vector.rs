@@ -1,0 +1,250 @@
+//! Behaviour vectors on the oriented ring (§3).
+//!
+//! "For each label `x`, algorithm `A` specifies a behaviour vector `V_x` …
+//! a sequence with terms from `{−1, 0, 1}` that specifies, for each round
+//! `i` of the solo execution of agent `x`, whether agent `x` moves
+//! clockwise (1), remains idle (0), or moves counter-clockwise (−1). Note
+//! that an agent's behaviour vector is independent of its starting
+//! position."
+
+use rendezvous_core::{Label, RendezvousAlgorithm};
+use rendezvous_graph::{NodeId, Port, PortLabeledGraph};
+use rendezvous_sim::{run_solo, Action};
+
+use crate::LowerBoundError;
+
+/// Validates that `graph` is an oriented ring (2-regular, port 0 clockwise
+/// everywhere) and returns its size `n`.
+///
+/// # Errors
+///
+/// [`LowerBoundError::NotAnOrientedRing`] otherwise.
+pub fn oriented_ring_size(graph: &PortLabeledGraph) -> Result<usize, LowerBoundError> {
+    rendezvous_explore::OrientedRingExplorer::new(std::sync::Arc::new(graph.clone()))
+        .map_err(|e| LowerBoundError::NotAnOrientedRing {
+            reason: e.to_string(),
+        })?;
+    Ok(graph.node_count())
+}
+
+/// A solo behaviour vector: entries in `{−1, 0, +1}` (counter-clockwise,
+/// idle, clockwise).
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_lower_bounds::BehaviorVector;
+///
+/// let v = BehaviorVector::new(vec![1, 1, 0, -1]);
+/// assert_eq!(v.displacement(), 1);
+/// assert_eq!(v.forward(), 2);
+/// assert_eq!(v.back(), 0);
+/// assert!(v.is_clockwise_heavy());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BehaviorVector {
+    entries: Vec<i8>,
+}
+
+impl BehaviorVector {
+    /// Creates a vector, clamping nothing: entries must be −1, 0 or 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range entries.
+    #[must_use]
+    pub fn new(entries: Vec<i8>) -> Self {
+        assert!(
+            entries.iter().all(|&e| (-1..=1).contains(&e)),
+            "behaviour vector entries must be in {{-1, 0, 1}}"
+        );
+        BehaviorVector { entries }
+    }
+
+    /// The raw entries.
+    #[must_use]
+    pub fn entries(&self) -> &[i8] {
+        &self.entries
+    }
+
+    /// Number of rounds covered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` for an empty vector.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Net clockwise displacement over a prefix of the first `rounds`
+    /// entries (the paper's `disp` over a truncated execution).
+    #[must_use]
+    pub fn displacement_prefix(&self, rounds: usize) -> i64 {
+        self.entries[..rounds.min(self.entries.len())]
+            .iter()
+            .map(|&e| i64::from(e))
+            .sum()
+    }
+
+    /// Net clockwise displacement of the whole vector.
+    #[must_use]
+    pub fn displacement(&self) -> i64 {
+        self.displacement_prefix(self.entries.len())
+    }
+
+    /// `forward(x)`: the farthest clockwise distance from the start ever
+    /// reached (max prefix sum, clamped at 0). Equals the number of edges
+    /// of the paper's `seg₁` as long as the walk never wraps around the
+    /// ring, which holds for all cost-bounded algorithms on large rings.
+    #[must_use]
+    pub fn forward(&self) -> i64 {
+        let mut acc = 0i64;
+        let mut max = 0i64;
+        for &e in &self.entries {
+            acc += i64::from(e);
+            max = max.max(acc);
+        }
+        max
+    }
+
+    /// `back(x)`: the farthest counter-clockwise distance from the start
+    /// ever reached (−min prefix sum, clamped at 0); the paper's `seg₋₁`.
+    #[must_use]
+    pub fn back(&self) -> i64 {
+        let mut acc = 0i64;
+        let mut min = 0i64;
+        for &e in &self.entries {
+            acc += i64::from(e);
+            min = min.min(acc);
+        }
+        -min
+    }
+
+    /// Clockwise-heavy ⇔ `back(x) ≤ forward(x)` (the paper's dichotomy;
+    /// at least half the agents are on one side and the analysis proceeds
+    /// with those).
+    #[must_use]
+    pub fn is_clockwise_heavy(&self) -> bool {
+        self.back() <= self.forward()
+    }
+
+    /// Total number of moves (the cost of the solo execution).
+    #[must_use]
+    pub fn weight(&self) -> u64 {
+        self.entries.iter().filter(|&&e| e != 0).count() as u64
+    }
+
+    /// Mirror image: swaps clockwise and counter-clockwise. Used to
+    /// re-orient the analysis when counter-clockwise-heavy agents form the
+    /// majority.
+    #[must_use]
+    pub fn mirrored(&self) -> Self {
+        BehaviorVector {
+            entries: self.entries.iter().map(|&e| -e).collect(),
+        }
+    }
+
+    /// Zeroes all entries strictly after `keep` rounds (procedure Trim).
+    pub fn truncate_after(&mut self, keep: usize) {
+        for e in self.entries.iter_mut().skip(keep) {
+            *e = 0;
+        }
+    }
+}
+
+/// Extracts the behaviour vector of `label` under `algorithm` by running a
+/// solo execution of `rounds` rounds on the algorithm's (oriented-ring)
+/// graph.
+///
+/// # Errors
+///
+/// * [`LowerBoundError::NotAnOrientedRing`] if the algorithm's graph is not
+///   an oriented ring,
+/// * [`LowerBoundError::Algorithm`] / [`LowerBoundError::Simulation`] on
+///   schedule or execution failures.
+pub fn behavior_vector(
+    algorithm: &dyn RendezvousAlgorithm,
+    label: Label,
+    rounds: u64,
+) -> Result<BehaviorVector, LowerBoundError> {
+    let graph = algorithm.graph();
+    oriented_ring_size(graph)?;
+    // Behaviour vectors are start-independent on the oriented ring; use 0.
+    let start = NodeId::new(0);
+    let mut agent = algorithm.agent(label, start)?;
+    let trace = run_solo(graph, &mut agent, start, rounds)?;
+    let entries = trace
+        .actions
+        .iter()
+        .map(|a| match a {
+            Action::Stay => 0i8,
+            Action::Move(p) if *p == Port::new(0) => 1,
+            Action::Move(_) => -1,
+        })
+        .collect();
+    Ok(BehaviorVector::new(entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendezvous_core::{CheapSimultaneous, LabelSpace};
+    use rendezvous_explore::OrientedRingExplorer;
+    use rendezvous_graph::generators;
+    use std::sync::Arc;
+
+    #[test]
+    fn vector_statistics() {
+        let v = BehaviorVector::new(vec![-1, -1, 1, 1, 1, 0]);
+        assert_eq!(v.displacement(), 1);
+        assert_eq!(v.forward(), 1);
+        assert_eq!(v.back(), 2);
+        assert_eq!(v.weight(), 5);
+        assert!(!v.is_clockwise_heavy());
+        let m = v.mirrored();
+        assert!(m.is_clockwise_heavy());
+        assert_eq!(m.displacement(), -1);
+    }
+
+    #[test]
+    #[should_panic(expected = "entries must be")]
+    fn rejects_out_of_range_entries() {
+        let _ = BehaviorVector::new(vec![2]);
+    }
+
+    #[test]
+    fn truncate_zeroes_the_tail() {
+        let mut v = BehaviorVector::new(vec![1, 1, 1, 1]);
+        v.truncate_after(2);
+        assert_eq!(v.entries(), &[1, 1, 0, 0]);
+        assert_eq!(v.displacement(), 2);
+    }
+
+    #[test]
+    fn cheap_simultaneous_vector_shape() {
+        let g = Arc::new(generators::oriented_ring(6).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = CheapSimultaneous::new(g, ex, LabelSpace::new(4).unwrap());
+        // label 2: waits E=5 rounds, then 5 clockwise moves.
+        let v = behavior_vector(&alg, Label::new(2).unwrap(), 12).unwrap();
+        assert_eq!(v.entries(), &[0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 0, 0]);
+        assert_eq!(v.back(), 0);
+        assert!(v.is_clockwise_heavy());
+        assert_eq!(v.weight(), 5);
+    }
+
+    #[test]
+    fn non_ring_graphs_are_rejected() {
+        let g = Arc::new(generators::oriented_ring(6).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let star = Arc::new(generators::star(4).unwrap());
+        let alg = CheapSimultaneous::new(star, ex, LabelSpace::new(2).unwrap());
+        assert!(matches!(
+            behavior_vector(&alg, Label::new(1).unwrap(), 5),
+            Err(LowerBoundError::NotAnOrientedRing { .. })
+        ));
+    }
+}

@@ -1,0 +1,201 @@
+//! Explored segments on the oriented ring (§3, Facts 3.1–3.4).
+//!
+//! For an execution `α` and an agent `x`, the paper considers the segment
+//! `seg(x, α)` of ring edges explored by `x`, split into `seg₁` (edges
+//! explored while on the agent's clockwise side) and `seg₋₁` (while on the
+//! counter-clockwise side). These drive Theorem 3.1's cost accounting:
+//!
+//! * **Fact 3.2**: a solo execution costs at least `2·back(x) + forward(x)`
+//!   (the lighter side must be retraced);
+//! * **Fact 3.3**: for a cost-`E+φ` algorithm, `back(x) ≤ φ` for every
+//!   clockwise-heavy agent;
+//! * **Fact 3.1**: if two agents' segments together cover fewer than `E`
+//!   edges, the adversary can place them so the segments are disjoint —
+//!   no meeting.
+
+use crate::BehaviorVector;
+
+/// Segment statistics of one agent in one (prefix of an) execution,
+/// computed from its behaviour vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segments {
+    /// `forward(x)`: edges of `seg₁` — how far clockwise of the start the
+    /// agent ever got.
+    pub forward: i64,
+    /// `back(x)`: edges of `seg₋₁` — how far counter-clockwise.
+    pub back: i64,
+    /// Edge traversals performed (the execution's cost for this agent).
+    pub cost: u64,
+}
+
+impl Segments {
+    /// Computes the statistics over the first `rounds` entries of a
+    /// behaviour vector.
+    #[must_use]
+    pub fn of_prefix(vector: &BehaviorVector, rounds: usize) -> Self {
+        let entries = &vector.entries()[..rounds.min(vector.len())];
+        let mut acc = 0i64;
+        let (mut max, mut min) = (0i64, 0i64);
+        let mut cost = 0u64;
+        for &e in entries {
+            acc += i64::from(e);
+            max = max.max(acc);
+            min = min.min(acc);
+            if e != 0 {
+                cost += 1;
+            }
+        }
+        Segments {
+            forward: max,
+            back: -min,
+            cost,
+        }
+    }
+
+    /// Computes the statistics of the whole vector (a full solo execution).
+    #[must_use]
+    pub fn of(vector: &BehaviorVector) -> Self {
+        Self::of_prefix(vector, vector.len())
+    }
+
+    /// `|seg(x, α)|`: total distinct edges explored (assuming no wrap,
+    /// which holds whenever `forward + back < n`).
+    #[must_use]
+    pub fn explored_edges(&self) -> i64 {
+        self.forward + self.back
+    }
+
+    /// Fact 3.2's lower bound on the cost of covering these segments in a
+    /// solo walk: the lighter side is traversed at least twice.
+    #[must_use]
+    pub fn fact_3_2_cost_floor(&self) -> i64 {
+        let light = self.forward.min(self.back);
+        let heavy = self.forward.max(self.back);
+        2 * light + heavy
+    }
+
+    /// Checks Fact 3.2 against the measured cost.
+    #[must_use]
+    pub fn fact_3_2_holds(&self) -> bool {
+        self.cost as i64 >= self.fact_3_2_cost_floor()
+    }
+}
+
+/// Fact 3.1's adversarial placement: given the two agents' segment spans
+/// in some execution, returns a start offset for the second agent (relative
+/// to the first, clockwise) that makes their explored segments disjoint —
+/// valid whenever the spans together cover fewer than `n − 1` edges.
+///
+/// The paper's formula: `p'_B = p_A + forward(A) + 1 + back(B) (mod n)`.
+#[must_use]
+pub fn disjoint_offset(a: &Segments, b: &Segments, n: usize) -> Option<usize> {
+    if a.explored_edges() + b.explored_edges() >= (n - 1) as i64 {
+        return None;
+    }
+    let off = (a.forward + 1 + b.back).rem_euclid(n as i64) as usize;
+    Some(off)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{behavior_vector, trim};
+    use rendezvous_core::{CheapSimultaneous, Label, LabelSpace, RendezvousAlgorithm};
+    use rendezvous_explore::OrientedRingExplorer;
+    use rendezvous_graph::{generators, NodeId};
+    use rendezvous_sim::{AgentSpec, Simulation};
+    use std::sync::Arc;
+
+    #[test]
+    fn segment_statistics_from_vectors() {
+        let v = BehaviorVector::new(vec![1, 1, -1, -1, -1, 0, 1]);
+        let s = Segments::of(&v);
+        assert_eq!(s.forward, 2);
+        assert_eq!(s.back, 1);
+        assert_eq!(s.cost, 6);
+        assert_eq!(s.explored_edges(), 3);
+        assert_eq!(s.fact_3_2_cost_floor(), 4); // 2*back + forward = 2*1 + 2
+        assert!(s.fact_3_2_holds());
+    }
+
+    #[test]
+    fn prefix_statistics() {
+        let v = BehaviorVector::new(vec![1, 1, -1, -1, -1]);
+        let s = Segments::of_prefix(&v, 2);
+        assert_eq!(s.forward, 2);
+        assert_eq!(s.back, 0);
+        assert_eq!(s.cost, 2);
+    }
+
+    #[test]
+    fn fact_3_3_for_cheap_simultaneous() {
+        // CheapSimultaneous has φ = 0, so back(x) = 0 for every agent.
+        let g = Arc::new(generators::oriented_ring(10).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = CheapSimultaneous::new(g, ex, LabelSpace::new(5).unwrap());
+        let t = trim(&alg, 10 * alg.time_bound()).unwrap();
+        let phi = t.phi(alg.exploration_bound());
+        assert_eq!(phi, 0);
+        for l in 1..=5u64 {
+            let s = Segments::of(t.vector(Label::new(l).unwrap()));
+            assert!(
+                s.back as u64 <= phi,
+                "Fact 3.3 violated for ℓ{l}: back {} > φ {phi}",
+                s.back
+            );
+            assert!(s.fact_3_2_holds());
+        }
+    }
+
+    #[test]
+    fn fact_3_1_placement_prevents_meeting() {
+        // Two short scripted walks whose combined span is < E: placing the
+        // second agent at the paper's offset keeps the segments disjoint,
+        // so an engine run over the same horizon must not meet.
+        use rendezvous_sim::{Action, ScriptedAgent};
+        use rendezvous_graph::Port;
+        let n = 12;
+        let g = generators::oriented_ring(n).unwrap();
+        // agent A: 3 clockwise; agent B: 2 counter-clockwise.
+        let va = BehaviorVector::new(vec![1, 1, 1]);
+        let vb = BehaviorVector::new(vec![-1, -1]);
+        let (sa, sb) = (Segments::of(&va), Segments::of(&vb));
+        let off = disjoint_offset(&sa, &sb, n).expect("spans are small");
+        let a = ScriptedAgent::new(vec![Action::Move(Port::new(0)); 3]);
+        let b = ScriptedAgent::new(vec![Action::Move(Port::new(1)); 2]);
+        let out = Simulation::new(&g)
+            .agent(Box::new(a), AgentSpec::immediate(NodeId::new(0)))
+            .agent(Box::new(b), AgentSpec::immediate(NodeId::new(off)))
+            .max_rounds(5)
+            .run()
+            .unwrap();
+        assert!(!out.met(), "Fact 3.1 placement must prevent the meeting");
+    }
+
+    #[test]
+    fn disjoint_offset_refuses_covering_spans() {
+        let big = Segments {
+            forward: 8,
+            back: 0,
+            cost: 8,
+        };
+        let small = Segments {
+            forward: 3,
+            back: 0,
+            cost: 3,
+        };
+        assert_eq!(disjoint_offset(&big, &small, 12), None);
+    }
+
+    #[test]
+    fn segments_agree_with_behavior_vector_helpers() {
+        let g = Arc::new(generators::oriented_ring(8).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = CheapSimultaneous::new(g, ex, LabelSpace::new(3).unwrap());
+        let v = behavior_vector(&alg, Label::new(2).unwrap(), 30).unwrap();
+        let s = Segments::of(&v);
+        assert_eq!(s.forward, v.forward());
+        assert_eq!(s.back, v.back());
+        assert_eq!(s.cost, v.weight());
+    }
+}

@@ -1,0 +1,96 @@
+//! Tournaments and Rédei's theorem (every tournament has a directed
+//! Hamiltonian path), used by Theorem 3.1's chain argument.
+
+/// Computes a directed Hamiltonian path of the tournament on `k` vertices
+/// whose edges are given by the oracle: `beats(a, b) == true` iff the edge
+/// between `a` and `b` points from `a` to `b`.
+///
+/// Constructive proof of Rédei's theorem by insertion: maintain a valid
+/// path and insert each new vertex before the first vertex it beats (or at
+/// the end if it beats none) — both neighbours of the insertion point stay
+/// consistent.
+///
+/// The oracle must be antisymmetric (`beats(a, b) == !beats(b, a)` for
+/// `a != b`); it is consulted only on distinct pairs.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_lower_bounds::hamiltonian_path;
+///
+/// // The transitive tournament: i beats j iff i > j.
+/// let path = hamiltonian_path(4, |a, b| a > b);
+/// assert_eq!(path, vec![3, 2, 1, 0]);
+/// ```
+pub fn hamiltonian_path(k: usize, beats: impl Fn(usize, usize) -> bool) -> Vec<usize> {
+    let mut path: Vec<usize> = Vec::with_capacity(k);
+    for v in 0..k {
+        let pos = path.iter().position(|&u| beats(v, u)).unwrap_or(path.len());
+        path.insert(pos, v);
+    }
+    path
+}
+
+/// Verifies that `path` is a directed Hamiltonian path for `beats` on
+/// `k` vertices.
+#[must_use]
+pub fn is_hamiltonian_path(k: usize, path: &[usize], beats: impl Fn(usize, usize) -> bool) -> bool {
+    if path.len() != k {
+        return false;
+    }
+    let mut seen = vec![false; k];
+    for &v in path {
+        if v >= k || seen[v] {
+            return false;
+        }
+        seen[v] = true;
+    }
+    path.windows(2).all(|w| beats(w[0], w[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_and_singleton() {
+        assert_eq!(hamiltonian_path(0, |_, _| true), Vec::<usize>::new());
+        assert_eq!(hamiltonian_path(1, |_, _| true), vec![0]);
+    }
+
+    #[test]
+    fn cyclic_tournament_has_a_path() {
+        // 0 beats 1, 1 beats 2, 2 beats 0 (a 3-cycle).
+        let beats = |a: usize, b: usize| (a + 1) % 3 == b;
+        let p = hamiltonian_path(3, beats);
+        assert!(is_hamiltonian_path(3, &p, beats));
+    }
+
+    proptest! {
+        #[test]
+        fn every_random_tournament_has_a_path(k in 1usize..40, seed in 0u64..1_000) {
+            // Deterministic pseudo-random tournament from the seed.
+            let beats = move |a: usize, b: usize| {
+                if a == b { return false; }
+                let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+                let h = seed
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add((lo * 1_000_003 + hi) as u64);
+                let bit = (h >> 17) & 1 == 0;
+                if a < b { bit } else { !bit }
+            };
+            let p = hamiltonian_path(k, beats);
+            prop_assert!(is_hamiltonian_path(k, &p, beats));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_bad_paths() {
+        let beats = |a: usize, b: usize| a > b;
+        assert!(!is_hamiltonian_path(3, &[0, 1], beats)); // wrong length
+        assert!(!is_hamiltonian_path(3, &[0, 0, 1], beats)); // repeat
+        assert!(!is_hamiltonian_path(3, &[0, 1, 2], beats)); // wrong direction
+        assert!(is_hamiltonian_path(3, &[2, 1, 0], beats));
+    }
+}

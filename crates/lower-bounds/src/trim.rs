@@ -1,0 +1,191 @@
+//! Procedure `Trim(A)` (§3): zeroing the rounds an algorithm never uses.
+//!
+//! For each label `x`, `m_x` is the latest round, over all partner labels
+//! and all pairs of start positions (simultaneous start), in which `x` is
+//! still unmet in some execution. Everything after `m_x` in `x`'s behaviour
+//! vector is dead code and is zeroed; the lower-bound arguments then reason
+//! about the non-zero entries that remain.
+
+use crate::{behavior_vector, oriented_ring_size, BehaviorVector, LowerBoundError};
+use rendezvous_core::{Label, RendezvousAlgorithm};
+use rendezvous_graph::NodeId;
+use rendezvous_sim::{AgentSpec, Simulation};
+
+/// The result of trimming: per-label horizons `m_x`, trimmed behaviour
+/// vectors, and the worst time/cost observed across all executions
+/// (the latter yields the measured slack `φ` of Theorem 3.1).
+#[derive(Debug, Clone)]
+pub struct TrimmedAlgorithm {
+    /// `vectors[x - 1]` = trimmed behaviour vector of label `x` (length
+    /// `max_time`, zeroed after `m_x`).
+    pub vectors: Vec<BehaviorVector>,
+    /// `horizons[x - 1]` = `m_x`.
+    pub horizons: Vec<u64>,
+    /// Worst meeting round over all executions (simultaneous start).
+    pub max_time: u64,
+    /// Worst total cost over all executions.
+    pub max_cost: u64,
+}
+
+impl TrimmedAlgorithm {
+    /// The trimmed vector of a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is outside the analyzed space.
+    #[must_use]
+    pub fn vector(&self, label: Label) -> &BehaviorVector {
+        &self.vectors[(label.get() - 1) as usize]
+    }
+
+    /// `m_x` for a label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is outside the analyzed space.
+    #[must_use]
+    pub fn horizon(&self, label: Label) -> u64 {
+        self.horizons[(label.get() - 1) as usize]
+    }
+
+    /// The measured slack `φ = max(0, max_cost − E)`: the algorithm's cost
+    /// is `E + φ` in the worst case. Theorem 3.1 applies when `φ ∈ o(E)`.
+    #[must_use]
+    pub fn phi(&self, exploration_bound: u64) -> u64 {
+        self.max_cost.saturating_sub(exploration_bound)
+    }
+}
+
+/// Runs procedure `Trim` for `algorithm` on its oriented ring, exhausting
+/// all unordered label pairs and all ordered pairs of distinct start
+/// positions, with simultaneous start (the lower-bound scenario).
+///
+/// `horizon` caps each execution; it must exceed the algorithm's time
+/// bound or [`LowerBoundError::NoMeeting`] is returned.
+///
+/// # Errors
+///
+/// * [`LowerBoundError::NotAnOrientedRing`] for non-ring graphs,
+/// * [`LowerBoundError::NoMeeting`] if some execution fails to meet
+///   (incorrect algorithm or too-small horizon).
+pub fn trim(
+    algorithm: &dyn RendezvousAlgorithm,
+    horizon: u64,
+) -> Result<TrimmedAlgorithm, LowerBoundError> {
+    let graph = algorithm.graph();
+    let n = oriented_ring_size(graph)?;
+    let l = algorithm.label_space().size();
+    let mut horizons = vec![0u64; l as usize];
+    let mut max_time = 0u64;
+    let mut max_cost = 0u64;
+    for x in 1..=l {
+        for y in (x + 1)..=l {
+            let (lx, ly) = (Label::new(x).expect(">0"), Label::new(y).expect(">0"));
+            for px in 0..n {
+                for py in 0..n {
+                    if px == py {
+                        continue;
+                    }
+                    let a = algorithm.agent(lx, NodeId::new(px))?;
+                    let b = algorithm.agent(ly, NodeId::new(py))?;
+                    let out = Simulation::new(graph)
+                        .agent(Box::new(a), AgentSpec::immediate(NodeId::new(px)))
+                        .agent(Box::new(b), AgentSpec::immediate(NodeId::new(py)))
+                        .max_rounds(horizon)
+                        .run()?;
+                    let Some(meeting) = out.meeting() else {
+                        return Err(LowerBoundError::NoMeeting {
+                            labels: (x, y),
+                            starts: (px, py),
+                            horizon,
+                        });
+                    };
+                    let t = meeting.round;
+                    horizons[(x - 1) as usize] = horizons[(x - 1) as usize].max(t);
+                    horizons[(y - 1) as usize] = horizons[(y - 1) as usize].max(t);
+                    max_time = max_time.max(t);
+                    max_cost = max_cost.max(out.cost());
+                }
+            }
+        }
+    }
+    let mut vectors = Vec::with_capacity(l as usize);
+    for x in 1..=l {
+        let label = Label::new(x).expect(">0");
+        let mut v = behavior_vector(algorithm, label, max_time)?;
+        v.truncate_after(horizons[(x - 1) as usize] as usize);
+        vectors.push(v);
+    }
+    Ok(TrimmedAlgorithm {
+        vectors,
+        horizons,
+        max_time,
+        max_cost,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendezvous_core::{CheapSimultaneous, Fast, LabelSpace};
+    use rendezvous_explore::OrientedRingExplorer;
+    use rendezvous_graph::generators;
+    use std::sync::Arc;
+
+    fn cheap_sim(n: usize, l: u64) -> CheapSimultaneous {
+        let g = Arc::new(generators::oriented_ring(n).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        CheapSimultaneous::new(g, ex, LabelSpace::new(l).unwrap())
+    }
+
+    #[test]
+    fn trim_of_cheap_simultaneous() {
+        let alg = cheap_sim(6, 4);
+        let t = trim(&alg, 10 * alg.time_bound()).unwrap();
+        let e = alg.exploration_bound();
+        // Cost of the simultaneous variant never exceeds E: φ = 0.
+        assert!(t.max_cost <= e, "cost {} > E {}", t.max_cost, e);
+        assert_eq!(t.phi(e), 0);
+        // Worst time is within the paper's bound and at least E
+        // (the adversary can always force a full exploration).
+        assert!(t.max_time <= alg.time_bound());
+        assert!(t.max_time >= e);
+        // Smaller labels stop being useful earlier: label 1 explores in
+        // rounds 1..E so m_1 <= ... every label's vector is bounded by its
+        // own schedule plus the partner's; sanity: horizons nonzero.
+        for h in &t.horizons {
+            assert!(*h > 0);
+        }
+    }
+
+    #[test]
+    fn trimmed_vectors_are_zero_after_horizon() {
+        let alg = cheap_sim(6, 3);
+        let t = trim(&alg, 10 * alg.time_bound()).unwrap();
+        for x in 1..=3u64 {
+            let label = Label::new(x).unwrap();
+            let v = t.vector(label);
+            let m = t.horizon(label) as usize;
+            assert!(v.entries()[m.min(v.len())..].iter().all(|&e| e == 0));
+        }
+    }
+
+    #[test]
+    fn no_meeting_is_reported() {
+        let alg = cheap_sim(8, 4);
+        // horizon far too small for label pair (3,4) to meet
+        let err = trim(&alg, 3).unwrap_err();
+        assert!(matches!(err, LowerBoundError::NoMeeting { .. }));
+    }
+
+    #[test]
+    fn trim_of_fast_has_nonzero_phi() {
+        // Fast costs far more than E: φ > 0, so Theorem 3.1's premise
+        // fails for it — exactly the tradeoff the paper describes.
+        let g = Arc::new(generators::oriented_ring(6).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = Fast::new(g, ex, LabelSpace::new(4).unwrap());
+        let t = trim(&alg, 10 * alg.time_bound()).unwrap();
+        assert!(t.phi(alg.exploration_bound()) > 0);
+    }
+}

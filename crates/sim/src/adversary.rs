@@ -1,0 +1,212 @@
+//! The adversary: exhaustive worst-case search over start positions and
+//! wake-up delays.
+//!
+//! The paper's bounds are worst-case over "any two agents whose distinct
+//! labels are from the label space … and whose initial positions are
+//! arbitrary distinct nodes", with wake-up rounds chosen by the adversary.
+//! On finite instances the adversary is *exactly realized* by enumerating
+//! all ordered pairs of distinct start nodes and all delays from a supplied
+//! set (for the paper's algorithms, delays beyond `E + 1` are equivalent to
+//! `E + 1`: the earlier agent's first exploration finds the sleeping agent).
+//!
+//! The search is embarrassingly parallel; we shard start pairs across
+//! threads with crossbeam's scoped threads.
+
+use crate::{AgentBehavior, AgentSpec, Simulation};
+use crossbeam::thread;
+use rendezvous_graph::{NodeId, PortLabeledGraph};
+
+/// What the adversary maximizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Objective {
+    /// Rounds from the earlier agent's start to the meeting.
+    Time,
+    /// Total edge traversals until the meeting.
+    Cost,
+}
+
+/// A worst case found by [`worst_case_search`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorstCase {
+    /// The maximized objective value.
+    pub value: u64,
+    /// Time of the worst execution (equals `value` for [`Objective::Time`]).
+    pub time: u64,
+    /// Cost of the worst execution (equals `value` for [`Objective::Cost`]).
+    pub cost: u64,
+    /// Start node of the first agent.
+    pub start_a: NodeId,
+    /// Start node of the second agent.
+    pub start_b: NodeId,
+    /// Delay (in rounds) applied to the second agent's wake-up.
+    pub delay_b: u64,
+}
+
+/// Builds the two behaviors for one execution. Called once per adversarial
+/// choice with the agents' start nodes, so position-aware behaviors (the
+/// marked-map scenario) can be constructed correctly.
+pub type BehaviorFactory<'a> =
+    dyn Fn(NodeId, NodeId) -> (Box<dyn AgentBehavior + 'a>, Box<dyn AgentBehavior + 'a>)
+        + Sync
+        + 'a;
+
+/// Exhaustively searches all ordered pairs of distinct start nodes and all
+/// delays in `delays_b` (applied to the second agent), maximizing
+/// `objective`. Returns the worst case, or `None` only for graphs with a
+/// single node.
+///
+/// Executions that fail to meet within `max_rounds` are treated as worth
+/// `u64::MAX` — a correctness violation the caller should treat as fatal
+/// (tests do).
+///
+/// # Panics
+///
+/// Panics if an execution returns a simulation error (behaviors emitting
+/// invalid moves are algorithm bugs, not adversarial outcomes).
+#[must_use]
+pub fn worst_case_search(
+    graph: &PortLabeledGraph,
+    factory: &BehaviorFactory<'_>,
+    delays_b: &[u64],
+    objective: Objective,
+    max_rounds: u64,
+    threads: usize,
+) -> Option<WorstCase> {
+    let n = graph.node_count();
+    let pairs: Vec<(NodeId, NodeId)> = (0..n)
+        .flat_map(|a| {
+            (0..n)
+                .filter(move |&b| b != a)
+                .map(move |b| (NodeId::new(a), NodeId::new(b)))
+        })
+        .collect();
+    if pairs.is_empty() {
+        return None;
+    }
+    let threads = threads.clamp(1, pairs.len());
+    let chunk = pairs.len().div_ceil(threads);
+    let results = thread::scope(|s| {
+        let mut handles = Vec::new();
+        for shard in pairs.chunks(chunk) {
+            handles.push(s.spawn(move |_| {
+                let mut best: Option<WorstCase> = None;
+                for &(pa, pb) in shard {
+                    for &delay in delays_b {
+                        let (ba, bb) = factory(pa, pb);
+                        let out = Simulation::new(graph)
+                            .agent(ba, AgentSpec::immediate(pa))
+                            .agent(bb, AgentSpec::delayed(pb, delay))
+                            .max_rounds(max_rounds)
+                            .run()
+                            .unwrap_or_else(|e| panic!("adversary execution failed: {e}"));
+                        let (time, cost) = match out.time() {
+                            Some(t) => (t, out.cost()),
+                            None => (u64::MAX, u64::MAX),
+                        };
+                        let value = match objective {
+                            Objective::Time => time,
+                            Objective::Cost => cost,
+                        };
+                        if best.is_none_or(|b| value > b.value) {
+                            best = Some(WorstCase {
+                                value,
+                                time,
+                                cost,
+                                start_a: pa,
+                                start_b: pb,
+                                delay_b: delay,
+                            });
+                        }
+                    }
+                }
+                best
+            }));
+        }
+        handles
+            .into_iter()
+            .filter_map(|h| h.join().expect("worker panicked"))
+            .max_by_key(|w| w.value)
+    })
+    .expect("crossbeam scope");
+    results
+}
+
+/// Convenience wrapper: simultaneous start (`delays_b = [0]`).
+#[must_use]
+pub fn worst_case_simultaneous(
+    graph: &PortLabeledGraph,
+    factory: &BehaviorFactory<'_>,
+    objective: Objective,
+    max_rounds: u64,
+    threads: usize,
+) -> Option<WorstCase> {
+    worst_case_search(graph, factory, &[0], objective, max_rounds, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, ScriptedAgent};
+    use rendezvous_graph::{generators, Port};
+
+    /// Walker (clockwise forever, scripted long enough) vs idler.
+    fn walker_idler_factory<'a>() -> Box<BehaviorFactory<'a>> {
+        Box::new(|_pa, _pb| {
+            (
+                Box::new(ScriptedAgent::new(vec![Action::Move(Port::new(0)); 512])),
+                Box::new(ScriptedAgent::new(vec![])),
+            )
+        })
+    }
+
+    #[test]
+    fn worst_case_time_of_walker_vs_idler_is_ring_length_minus_one() {
+        let g = generators::oriented_ring(8).unwrap();
+        let f = walker_idler_factory();
+        let w = worst_case_simultaneous(&g, f.as_ref(), Objective::Time, 1_000, 4).unwrap();
+        // The adversary places the idler just behind the walker: n-1 steps.
+        assert_eq!(w.value, 7);
+        assert_eq!(w.cost, 7);
+        assert_eq!(
+            (w.start_b.index() + 8 - w.start_a.index()) % 8,
+            7,
+            "worst placement is one step counter-clockwise"
+        );
+    }
+
+    #[test]
+    fn delays_do_not_help_against_an_idler() {
+        let g = generators::oriented_ring(6).unwrap();
+        let f = walker_idler_factory();
+        let with_delay =
+            worst_case_search(&g, f.as_ref(), &[0, 3, 10], Objective::Time, 1_000, 2).unwrap();
+        // The walker starts at round 1 regardless; the idler sleeps anyway.
+        assert_eq!(with_delay.value, 5);
+    }
+
+    #[test]
+    fn objective_cost_vs_time_can_differ() {
+        // Walker vs walker-then-idler: cost counts both agents' moves.
+        let g = generators::oriented_ring(6).unwrap();
+        let f: Box<BehaviorFactory<'_>> = Box::new(|_, _| {
+            (
+                Box::new(ScriptedAgent::new(vec![Action::Move(Port::new(0)); 512])),
+                Box::new(ScriptedAgent::new(vec![Action::Move(Port::new(0)); 512])),
+            )
+        });
+        // Two clockwise walkers at distance d never meet... except they do
+        // not: same speed, same direction. With max_rounds they never meet;
+        // the adversary reports u64::MAX, surfacing non-meeting loudly.
+        let w = worst_case_simultaneous(&g, f.as_ref(), Objective::Cost, 64, 2).unwrap();
+        assert_eq!(w.value, u64::MAX);
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let g = generators::oriented_ring(7).unwrap();
+        let f = walker_idler_factory();
+        let w1 = worst_case_search(&g, f.as_ref(), &[0, 1], Objective::Time, 500, 1).unwrap();
+        let w8 = worst_case_search(&g, f.as_ref(), &[0, 1], Objective::Time, 500, 8).unwrap();
+        assert_eq!(w1.value, w8.value);
+    }
+}

@@ -1,0 +1,126 @@
+//! What an agent *is*, computationally: a deterministic reaction to local
+//! observations.
+
+use rendezvous_graph::Port;
+use serde::{Deserialize, Serialize};
+
+/// Everything an agent perceives at the start of a round (paper §1.2):
+/// its own clock, the degree of the node it occupies, and — if it moved
+/// last round — the port through which it entered.
+///
+/// Node identities are deliberately absent: the network is anonymous.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Observation {
+    /// Number of rounds this agent has already executed (0 on the first
+    /// call after wake-up). The paper's local clock "ticks at each round
+    /// and starts at the wake-up round of the agent".
+    pub local_round: u64,
+    /// Degree of the currently occupied node.
+    pub degree: usize,
+    /// Port through which the agent entered this node on the previous
+    /// round; `None` on the first round or if it stayed put.
+    pub entry_port: Option<Port>,
+}
+
+/// The decision an agent makes each round: stay, or leave through a port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Action {
+    /// Remain at the current node this round.
+    Stay,
+    /// Traverse the edge with this local port number.
+    Move(Port),
+}
+
+impl Action {
+    /// Returns `true` if the action is a move.
+    #[must_use]
+    pub fn is_move(self) -> bool {
+        matches!(self, Action::Move(_))
+    }
+}
+
+/// A deterministic mobile agent: called once per round with its local
+/// [`Observation`], answers with an [`Action`].
+///
+/// Implementations must be deterministic functions of the observation
+/// history (plus construction-time inputs such as the agent's label and the
+/// exploration procedure) — this is what makes the rendezvous problem
+/// non-trivial and is assumed by every proof in the paper.
+pub trait AgentBehavior {
+    /// Decides this round's action.
+    fn next_action(&mut self, observation: Observation) -> Action;
+}
+
+/// An agent that never moves. Useful as a baseline and in engine tests; on
+/// its own it can never solve rendezvous (both agents idle = no meeting),
+/// which is the symmetry-breaking point the paper makes about labels.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdleAgent;
+
+impl AgentBehavior for IdleAgent {
+    fn next_action(&mut self, _observation: Observation) -> Action {
+        Action::Stay
+    }
+}
+
+/// An agent replaying a fixed script of actions, then idling. The engine
+/// and adversary tests use scripted agents to pin down exact semantics
+/// (crossing on an edge, simultaneous arrival, wake-up delays).
+#[derive(Debug, Clone)]
+pub struct ScriptedAgent {
+    script: Vec<Action>,
+    at: usize,
+}
+
+impl ScriptedAgent {
+    /// Creates an agent that performs `script` in order and then stays.
+    #[must_use]
+    pub fn new(script: Vec<Action>) -> Self {
+        ScriptedAgent { script, at: 0 }
+    }
+}
+
+impl AgentBehavior for ScriptedAgent {
+    fn next_action(&mut self, _observation: Observation) -> Action {
+        let a = self.script.get(self.at).copied().unwrap_or(Action::Stay);
+        self.at += 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripted_agent_replays_then_stays() {
+        let mut a = ScriptedAgent::new(vec![Action::Move(Port::new(0)), Action::Stay]);
+        let obs = Observation {
+            local_round: 0,
+            degree: 2,
+            entry_port: None,
+        };
+        assert_eq!(a.next_action(obs), Action::Move(Port::new(0)));
+        assert_eq!(a.next_action(obs), Action::Stay);
+        assert_eq!(a.next_action(obs), Action::Stay);
+    }
+
+    #[test]
+    fn idle_agent_always_stays() {
+        let mut a = IdleAgent;
+        for r in 0..5 {
+            let obs = Observation {
+                local_round: r,
+                degree: 3,
+                entry_port: None,
+            };
+            assert_eq!(a.next_action(obs), Action::Stay);
+        }
+    }
+
+    #[test]
+    fn action_is_move() {
+        assert!(Action::Move(Port::new(1)).is_move());
+        assert!(!Action::Stay.is_move());
+    }
+}

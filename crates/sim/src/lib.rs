@@ -1,0 +1,47 @@
+//! The synchronous execution model of Miller & Pelc (PODC 2014): agents as
+//! deterministic state machines, an engine with exact meeting semantics,
+//! solo executions, and an exhaustive adversary.
+//!
+//! # Model recap (§1.2 of the paper)
+//!
+//! Two agents start at **distinct** nodes of a connected, anonymous,
+//! port-labelled graph, possibly woken in different rounds by an adversary.
+//! In each round an awake agent either stays or moves through a chosen
+//! port. Agents cannot mark nodes or communicate; they notice each other
+//! only when they occupy the same node at the end of a round — crossing
+//! inside an edge goes unnoticed. **Time** is counted from the wake-up of
+//! the earlier agent; **cost** is the total number of edge traversals of
+//! both agents.
+//!
+//! # Examples
+//!
+//! ```
+//! use rendezvous_graph::{generators, NodeId, Port};
+//! use rendezvous_sim::{Action, AgentSpec, ScriptedAgent, Simulation};
+//!
+//! let g = generators::oriented_ring(6).unwrap();
+//! let walker = ScriptedAgent::new(vec![Action::Move(Port::new(0)); 5]);
+//! let idler = ScriptedAgent::new(vec![]);
+//! let out = Simulation::new(&g)
+//!     .agent(Box::new(walker), AgentSpec::immediate(NodeId::new(0)))
+//!     .agent(Box::new(idler), AgentSpec::immediate(NodeId::new(4)))
+//!     .run()?;
+//! assert_eq!(out.time(), Some(4));
+//! # Ok::<(), rendezvous_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+mod behavior;
+mod engine;
+mod error;
+pub mod gathering;
+pub mod render;
+mod solo;
+
+pub use behavior::{Action, AgentBehavior, IdleAgent, Observation, ScriptedAgent};
+pub use engine::{AgentSpec, Meeting, MeetingCondition, Outcome, Simulation, Trace};
+pub use error::SimError;
+pub use solo::{run_solo, SoloTrace};

@@ -1,0 +1,124 @@
+//! ASCII space-time diagrams of executions — invaluable when debugging
+//! rendezvous schedules and when explaining the algorithms in examples.
+
+use crate::Trace;
+use std::fmt::Write as _;
+
+/// Renders a recorded [`Trace`] as a space-time diagram: one row per round,
+/// one column per node; agents shown as `A`, `B`, `C`…, collisions as `*`.
+///
+/// Rows are sub-sampled to at most `max_rows` (always keeping the first
+/// and last round) so long executions stay readable.
+///
+/// # Examples
+///
+/// ```
+/// use rendezvous_graph::{generators, NodeId, Port};
+/// use rendezvous_sim::{render, Action, AgentSpec, ScriptedAgent, Simulation};
+///
+/// let g = generators::oriented_ring(5).unwrap();
+/// let walker = ScriptedAgent::new(vec![Action::Move(Port::new(0)); 4]);
+/// let idler = ScriptedAgent::new(vec![]);
+/// let out = Simulation::new(&g)
+///     .agent(Box::new(walker), AgentSpec::immediate(NodeId::new(0)))
+///     .agent(Box::new(idler), AgentSpec::immediate(NodeId::new(3)))
+///     .record_trace(true)
+///     .run()
+///     .unwrap();
+/// let art = render::space_time(out.trace().unwrap(), 5, 10);
+/// assert!(art.contains('A'));
+/// assert!(art.contains('*')); // the meeting
+/// ```
+#[must_use]
+pub fn space_time(trace: &Trace, node_count: usize, max_rows: usize) -> String {
+    let rounds = trace.positions.first().map_or(0, Vec::len);
+    let agents = trace.positions.len();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "round  {}",
+        (0..node_count)
+            .map(|v| format!("{v:>3}"))
+            .collect::<String>()
+    );
+    let step = rounds.div_ceil(max_rows.max(1)).max(1);
+    let mut rows: Vec<usize> = (0..rounds).step_by(step).collect();
+    if rows.last() != Some(&(rounds - 1)) && rounds > 0 {
+        rows.push(rounds - 1);
+    }
+    for r in rows {
+        let mut cells = vec!["  .".to_string(); node_count];
+        for a in 0..agents {
+            let pos = trace.positions[a][r].index();
+            let symbol = char::from(b'A' + (a % 26) as u8);
+            if cells[pos].ends_with('.') {
+                cells[pos] = format!("  {symbol}");
+            } else {
+                cells[pos] = "  *".to_string();
+            }
+        }
+        let _ = writeln!(out, "{r:>5}  {}", cells.concat());
+    }
+    out
+}
+
+/// One-line summary of an agent's action history: `>` clockwise-ish move
+/// (port 0), `<` other move, `.` stay. Useful to eyeball schedules.
+#[must_use]
+pub fn action_ribbon(trace: &Trace, agent: usize) -> String {
+    trace.actions[agent]
+        .iter()
+        .map(|a| match a {
+            crate::Action::Stay => '.',
+            crate::Action::Move(p) if p.index() == 0 => '>',
+            crate::Action::Move(_) => '<',
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Action, AgentSpec, ScriptedAgent, Simulation};
+    use rendezvous_graph::{generators, NodeId, Port};
+
+    fn traced() -> crate::Outcome {
+        let g = generators::oriented_ring(6).unwrap();
+        let walker = ScriptedAgent::new(vec![Action::Move(Port::new(0)); 5]);
+        let idler = ScriptedAgent::new(vec![]);
+        Simulation::new(&g)
+            .agent(Box::new(walker), AgentSpec::immediate(NodeId::new(0)))
+            .agent(Box::new(idler), AgentSpec::immediate(NodeId::new(4)))
+            .record_trace(true)
+            .run()
+            .unwrap()
+    }
+
+    #[test]
+    fn space_time_shows_both_agents_and_meeting() {
+        let out = traced();
+        let art = space_time(out.trace().unwrap(), 6, 50);
+        assert!(art.contains('A'));
+        assert!(art.contains('B'));
+        assert!(art.contains('*'));
+        // header + one row per recorded round (5 entries: rounds 0..=4)
+        assert!(art.lines().count() >= 5);
+    }
+
+    #[test]
+    fn subsampling_keeps_first_and_last() {
+        let out = traced();
+        let art = space_time(out.trace().unwrap(), 6, 2);
+        let first = art.lines().nth(1).unwrap();
+        assert!(first.trim_start().starts_with('0'));
+        assert!(art.lines().count() <= 5);
+    }
+
+    #[test]
+    fn ribbons_reflect_actions() {
+        let out = traced();
+        let t = out.trace().unwrap();
+        assert_eq!(action_ribbon(t, 0), ">>>>");
+        assert_eq!(action_ribbon(t, 1), "....");
+    }
+}

@@ -1,0 +1,73 @@
+//! The adversary at work: how wake-up delays affect each algorithm.
+//!
+//! Sweeps the delay of the second agent and reports meeting time and cost
+//! for `Cheap` and `Fast` (robust to delays by design) and for the
+//! simultaneous-start variant of `Cheap` (whose time bound `(L−1)E` is
+//! only valid without delays — watch it blow past the bound).
+//!
+//! ```text
+//! cargo run --example delay_adversary
+//! ```
+
+use rendezvous_core::{Cheap, CheapSimultaneous, Fast, Label, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::OrientedRingExplorer;
+use rendezvous_graph::{generators, NodeId};
+use rendezvous_sim::{AgentSpec, Simulation};
+use std::sync::Arc;
+
+fn measure(
+    algorithm: &dyn RendezvousAlgorithm,
+    la: u64,
+    lb: u64,
+    delay: u64,
+) -> Result<(u64, u64), Box<dyn std::error::Error>> {
+    let a = algorithm.agent(Label::new(la).expect("positive"), NodeId::new(0))?;
+    let b = algorithm.agent(Label::new(lb).expect("positive"), NodeId::new(9))?;
+    let out = Simulation::new(algorithm.graph())
+        .agent(Box::new(a), AgentSpec::immediate(NodeId::new(0)))
+        .agent(Box::new(b), AgentSpec::delayed(NodeId::new(9), delay))
+        .max_rounds(20 * algorithm.time_bound() + 4 * delay)
+        .run()?;
+    Ok((out.time().expect("met"), out.cost()))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = Arc::new(generators::oriented_ring(16)?);
+    let explore = Arc::new(OrientedRingExplorer::new(graph.clone())?);
+    let space = LabelSpace::new(8)?;
+    let e = explore_bound(&graph);
+
+    let cheap = Cheap::new(graph.clone(), explore.clone(), space);
+    let fast = Fast::new(graph.clone(), explore.clone(), space);
+    let naive = CheapSimultaneous::new(graph.clone(), explore.clone(), space);
+
+    println!("oriented 16-ring, E = {e}, labels (8, 3), agent B delayed\n");
+    println!(
+        "{:>6} | {:>12} | {:>12} | {:>22}",
+        "delay", "Cheap (t,c)", "Fast (t,c)", "CheapSimultaneous (t,c)"
+    );
+    println!("{}", "-".repeat(64));
+    for delay in [0, 1, e / 2, e, 2 * e, 10 * e] {
+        let (tc, cc) = measure(&cheap, 8, 3, delay)?;
+        let (tf, cf) = measure(&fast, 8, 3, delay)?;
+        let (tn, cn) = measure(&naive, 8, 3, delay)?;
+        let warn = if tn > naive.time_bound() { "  <-- past its bound!" } else { "" };
+        println!(
+            "{delay:>6} | {:>6},{:>4} | {:>6},{:>4} | {:>10},{:>4}{warn}",
+            tc, cc, tf, cf, tn, cn
+        );
+    }
+    println!(
+        "\nbounds: Cheap time {} cost {}, Fast time {} cost {}, naive time {} (delay 0 only)",
+        cheap.time_bound(),
+        cheap.cost_bound(),
+        fast.time_bound(),
+        fast.cost_bound(),
+        naive.time_bound(),
+    );
+    Ok(())
+}
+
+fn explore_bound(graph: &Arc<rendezvous_graph::PortLabeledGraph>) -> u64 {
+    (graph.node_count() - 1) as u64
+}

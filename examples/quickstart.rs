@@ -1,0 +1,60 @@
+//! Quickstart: two labelled agents meet on an anonymous ring using
+//! Algorithm `Fast`.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use rendezvous_core::{Fast, Label, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::OrientedRingExplorer;
+use rendezvous_graph::{generators, NodeId};
+use rendezvous_sim::{AgentSpec, Simulation};
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The network: an oriented ring of 20 anonymous nodes. Agents see
+    //    only local port numbers (0 = clockwise at every node).
+    let graph = Arc::new(generators::oriented_ring(20)?);
+
+    // 2. The exploration procedure both agents know: walk n-1 = 19 steps
+    //    clockwise. Its bound E is the benchmark for time and cost.
+    let explore = Arc::new(OrientedRingExplorer::new(graph.clone())?);
+
+    // 3. The algorithm: Fast, with labels drawn from {1, ..., 128}.
+    let space = LabelSpace::new(128)?;
+    let algorithm = Fast::new(graph.clone(), explore, space);
+    println!("algorithm      : {}", algorithm.name());
+    println!("exploration E  : {}", algorithm.exploration_bound());
+    println!("time bound     : {} rounds", algorithm.time_bound());
+    println!("cost bound     : {} edge traversals", algorithm.cost_bound());
+
+    // 4. Two agents with distinct labels at distinct nodes; the second
+    //    one is woken 7 rounds late by the adversary.
+    let alice = algorithm.agent(Label::new(93).expect("positive"), NodeId::new(2))?;
+    let bob = algorithm.agent(Label::new(17).expect("positive"), NodeId::new(13))?;
+
+    let outcome = Simulation::new(&graph)
+        .agent(Box::new(alice), AgentSpec::immediate(NodeId::new(2)))
+        .agent(Box::new(bob), AgentSpec::delayed(NodeId::new(13), 7))
+        .max_rounds(algorithm.time_bound() + 7)
+        .record_trace(true)
+        .run()?;
+
+    let meeting = outcome.meeting().expect("Fast always meets in time");
+    println!("\nrendezvous at  : {}", meeting.node);
+    println!("time           : {} rounds", outcome.time().expect("met"));
+    println!("cost           : {} edge traversals", outcome.cost());
+    println!(
+        "per agent      : {:?} traversals",
+        outcome.per_agent_cost()
+    );
+    assert!(outcome.time().expect("met") <= algorithm.time_bound() + 7);
+    assert!(outcome.cost() <= algorithm.cost_bound());
+
+    // 5. Space-time diagram of the execution (A = Alice, B = Bob, * = meeting).
+    println!(
+        "\n{}",
+        rendezvous_sim::render::space_time(outcome.trace().expect("recorded"), 20, 24)
+    );
+    Ok(())
+}

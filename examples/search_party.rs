@@ -1,0 +1,60 @@
+//! Search party: five agents gather at one node by merge-and-restart —
+//! the k-agent extension of the paper's two-agent algorithms.
+//!
+//! Whenever agents stand on the same node they have met (and, per the
+//! paper's motivation, exchange data — here: their labels); the merged
+//! group restarts the two-agent algorithm under its minimum label and
+//! travels in lockstep from then on. Clusters keep merging until the whole
+//! party is assembled.
+//!
+//! ```text
+//! cargo run --example search_party
+//! ```
+
+use rendezvous_core::{gathering_fleet, Fast, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::OrientedRingExplorer;
+use rendezvous_graph::{generators, NodeId};
+use rendezvous_sim::gathering::run_gathering;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = Arc::new(generators::oriented_ring(18)?);
+    let explore = Arc::new(OrientedRingExplorer::new(graph.clone())?);
+    let algorithm: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(
+        graph.clone(),
+        explore,
+        LabelSpace::new(32)?,
+    ));
+
+    // (label, start node, wake-up delay) — scattered and staggered.
+    let placements = [
+        (4u64, NodeId::new(0), 0u64),
+        (9, NodeId::new(4), 12),
+        (13, NodeId::new(7), 0),
+        (21, NodeId::new(11), 30),
+        (30, NodeId::new(15), 5),
+    ];
+    println!("five agents on an 18-ring, staggered wake-ups:\n");
+    for (l, p, d) in &placements {
+        println!("  agent ℓ{l:<3} at {p}, wakes after {d} rounds");
+    }
+
+    let fleet = gathering_fleet(&algorithm, &placements)?;
+    let out = run_gathering(&graph, fleet, 1_000_000)?;
+
+    let m = out.gathered.expect("merge-and-restart always gathers");
+    println!("\ngathered at {} in round {}", m.node, m.round);
+    println!("total cost: {} edge traversals", out.cost());
+    println!("per agent : {:?}", out.per_agent_cost);
+
+    // Show how the cluster count shrank over time.
+    let mut last = usize::MAX;
+    println!("\ncluster-count timeline:");
+    for (round, &c) in out.cluster_history.iter().enumerate() {
+        if c < last {
+            println!("  round {:>5}: {} cluster(s)", round + 1, c);
+            last = c;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,133 @@
+//! Consistency of the closed-form bounds across the algorithm family —
+//! the arithmetic backbone of the tradeoff story, checked over a parameter
+//! sweep (no simulation; this is the "analytic figure" of the paper).
+
+use rendezvous_core::{
+    binomial, smallest_t, Cheap, CheapSimultaneous, Fast, FastWithRelabeling, LabelSpace,
+    RendezvousAlgorithm,
+};
+use rendezvous_explore::OrientedRingExplorer;
+use rendezvous_graph::generators;
+use std::sync::Arc;
+
+fn on_ring(n: usize) -> (Arc<rendezvous_graph::PortLabeledGraph>, Arc<OrientedRingExplorer>) {
+    let g = Arc::new(generators::oriented_ring(n).unwrap());
+    let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    (g, ex)
+}
+
+#[test]
+fn bounds_are_monotone_in_l() {
+    let (g, ex) = on_ring(10);
+    let mut prev_cheap = 0;
+    let mut prev_fast = 0;
+    for l in [2u64, 4, 8, 16, 64, 512, 4096] {
+        let space = LabelSpace::new(l).unwrap();
+        let cheap = Cheap::new(g.clone(), ex.clone(), space);
+        let fast = Fast::new(g.clone(), ex.clone(), space);
+        assert!(cheap.time_bound() > prev_cheap);
+        assert!(fast.time_bound() >= prev_fast);
+        // Cost bounds: Cheap's is L-independent, Fast's grows with log L.
+        assert_eq!(cheap.cost_bound(), 3 * cheap.exploration_bound());
+        prev_cheap = cheap.time_bound();
+        prev_fast = fast.time_bound();
+    }
+}
+
+#[test]
+fn bounds_scale_linearly_in_e() {
+    // Every bound is a multiple of E: doubling the ring (roughly) doubles
+    // each bound.
+    let space = LabelSpace::new(32).unwrap();
+    let (g1, ex1) = on_ring(7);
+    let (g2, ex2) = on_ring(13); // E: 6 -> 12
+    let c1 = Cheap::new(g1.clone(), ex1.clone(), space);
+    let c2 = Cheap::new(g2.clone(), ex2.clone(), space);
+    assert_eq!(c2.time_bound(), 2 * c1.time_bound());
+    assert_eq!(c2.cost_bound(), 2 * c1.cost_bound());
+    let f1 = Fast::new(g1, ex1, space);
+    let f2 = Fast::new(g2, ex2, space);
+    assert_eq!(f2.time_bound(), 2 * f1.time_bound());
+}
+
+#[test]
+fn crossover_where_fast_overtakes_cheap() {
+    // For tiny L, Cheap's time bound can compete with Fast's; for large L,
+    // Fast wins by an unbounded factor. Find the crossover and check it is
+    // where the formulas say: (2L+1) vs (4 floor(log(L-1)) + 9).
+    let (g, ex) = on_ring(10);
+    let mut crossed = false;
+    for l in 2u64..=64 {
+        let space = LabelSpace::new(l).unwrap();
+        let cheap = Cheap::new(g.clone(), ex.clone(), space);
+        let fast = Fast::new(g.clone(), ex.clone(), space);
+        let formula_says_fast = 4 * space.floor_log2_l_minus_1() + 9 < 2 * l + 1;
+        assert_eq!(
+            fast.time_bound() < cheap.time_bound(),
+            formula_says_fast,
+            "mismatch at L={l}"
+        );
+        if formula_says_fast {
+            crossed = true;
+        }
+    }
+    assert!(crossed, "the crossover must occur within L <= 64");
+}
+
+#[test]
+fn fwr_interpolates_between_the_extremes() {
+    // As w grows from 1 to ~log L, FastWithRelabeling's time bound falls
+    // from Cheap-like to Fast-like while its cost bound rises.
+    let (g, ex) = on_ring(10);
+    let space = LabelSpace::new(1024).unwrap();
+    let mut prev_time = u64::MAX;
+    let mut prev_cost = 0;
+    for w in 1..=8u64 {
+        let alg = FastWithRelabeling::new(g.clone(), ex.clone(), space, w).unwrap();
+        assert!(
+            alg.time_bound() <= prev_time,
+            "time bound must be non-increasing in w up to log L (w={w})"
+        );
+        assert!(alg.cost_bound() > prev_cost);
+        prev_time = alg.time_bound();
+        prev_cost = alg.cost_bound();
+    }
+}
+
+#[test]
+fn smallest_t_inverts_binomial() {
+    for w in 1..=6u64 {
+        for l in 2..=2_000u64 {
+            let t = smallest_t(w, l);
+            assert!(binomial(t, w) >= u128::from(l));
+            if t > w {
+                assert!(binomial(t - 1, w) < u128::from(l));
+            }
+        }
+    }
+}
+
+#[test]
+fn simultaneous_variant_dominates_cheap_on_both_bounds() {
+    // Without delays you can always do better: the simultaneous variant's
+    // bounds are at most Cheap's on both axes.
+    let (g, ex) = on_ring(12);
+    for l in [2u64, 8, 128] {
+        let space = LabelSpace::new(l).unwrap();
+        let sim = CheapSimultaneous::new(g.clone(), ex.clone(), space);
+        let cheap = Cheap::new(g.clone(), ex.clone(), space);
+        assert!(sim.time_bound() <= cheap.time_bound());
+        assert!(sim.cost_bound() <= cheap.cost_bound());
+    }
+}
+
+#[test]
+fn fwr_with_w_one_is_cheap_like() {
+    // w = 1: t = L, time (4L+5)E — the same Θ(LE) regime as Cheap, and the
+    // cost bound (4·1+2)E = 6E is within a constant of Cheap's 3E.
+    let (g, ex) = on_ring(8);
+    let space = LabelSpace::new(64).unwrap();
+    let alg = FastWithRelabeling::new(g, ex, space, 1).unwrap();
+    assert_eq!(alg.t(), 64);
+    assert_eq!(alg.cost_bound(), 6 * alg.exploration_bound());
+}

@@ -1,0 +1,155 @@
+//! End-to-end integration: every algorithm on every graph family meets
+//! within the paper's bounds, across the full crate stack
+//! (graph → explore → sim → core).
+
+use rendezvous_core::{
+    Cheap, CheapSimultaneous, Fast, FastWithRelabeling, Label, LabelSpace, RendezvousAlgorithm,
+};
+use rendezvous_explore::{
+    DfsMapExplorer, EulerianExplorer, Explorer, HamiltonianExplorer, OrientedRingExplorer,
+    TrialDfsExplorer,
+};
+use rendezvous_graph::{generators, HamiltonianCycle, NodeId, PortLabeledGraph};
+use rendezvous_sim::{AgentSpec, Simulation};
+use std::sync::Arc;
+
+fn check_algorithm(alg: &dyn RendezvousAlgorithm, delays: &[u64]) {
+    let g = alg.graph();
+    let l = alg.label_space().size();
+    let pairs = [(1, 2), (l - 1, l), (1, l)];
+    let n = g.node_count();
+    // A deterministic position sample covering near/far placements.
+    let positions = [(0usize, 1usize), (0, n / 2), (n - 1, n / 3)];
+    for &(la, lb) in &pairs {
+        for &(pa, pb) in &positions {
+            if pa == pb {
+                continue;
+            }
+            for &d in delays {
+                let a = alg.agent(Label::new(la).unwrap(), NodeId::new(pa)).unwrap();
+                let b = alg.agent(Label::new(lb).unwrap(), NodeId::new(pb)).unwrap();
+                let out = Simulation::new(g)
+                    .agent(Box::new(a), AgentSpec::immediate(NodeId::new(pa)))
+                    .agent(Box::new(b), AgentSpec::delayed(NodeId::new(pb), d))
+                    .max_rounds(4 * alg.time_bound() + 4 * d)
+                    .run()
+                    .unwrap();
+                let t = out.time().unwrap_or_else(|| {
+                    panic!(
+                        "{} failed to meet: labels ({la},{lb}), starts ({pa},{pb}), delay {d}",
+                        alg.name()
+                    )
+                });
+                assert!(
+                    t <= alg.time_bound(),
+                    "{}: time {t} > bound {} (labels ({la},{lb}), starts ({pa},{pb}), delay {d})",
+                    alg.name(),
+                    alg.time_bound()
+                );
+                assert!(
+                    out.cost() <= alg.cost_bound(),
+                    "{}: cost {} > bound {}",
+                    alg.name(),
+                    out.cost(),
+                    alg.cost_bound()
+                );
+            }
+        }
+    }
+}
+
+fn graphs() -> Vec<(Arc<PortLabeledGraph>, Arc<dyn Explorer>)> {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut out: Vec<(Arc<PortLabeledGraph>, Arc<dyn Explorer>)> = Vec::new();
+
+    let ring = Arc::new(generators::oriented_ring(11).unwrap());
+    out.push((
+        ring.clone(),
+        Arc::new(OrientedRingExplorer::new(ring.clone()).unwrap()),
+    ));
+
+    let star = Arc::new(generators::star(6).unwrap());
+    out.push((star.clone(), Arc::new(DfsMapExplorer::new(star.clone()))));
+
+    let grid = Arc::new(generators::grid(4, 3).unwrap());
+    out.push((grid.clone(), Arc::new(DfsMapExplorer::new(grid.clone()))));
+
+    let tree = Arc::new(generators::random_tree(10, &mut rng).unwrap());
+    out.push((tree.clone(), Arc::new(DfsMapExplorer::new(tree.clone()))));
+
+    let cube = Arc::new(generators::hypercube(3).unwrap());
+    let cycle = HamiltonianCycle::known_hypercube(&cube).unwrap();
+    out.push((
+        cube.clone(),
+        Arc::new(HamiltonianExplorer::new(cube.clone(), cycle).unwrap()),
+    ));
+
+    let torus = Arc::new(generators::torus(3, 3).unwrap());
+    out.push((
+        torus.clone(),
+        Arc::new(EulerianExplorer::new(torus.clone()).unwrap()),
+    ));
+
+    let er = Arc::new(generators::erdos_renyi_connected(8, 0.35, &mut rng).unwrap());
+    out.push((
+        er.clone(),
+        Arc::new(TrialDfsExplorer::new(er.clone()).unwrap()),
+    ));
+
+    out
+}
+
+#[test]
+fn cheap_meets_on_every_family_with_delays() {
+    for (g, ex) in graphs() {
+        let e = ex.bound() as u64;
+        let alg = Cheap::new(g, ex, LabelSpace::new(6).unwrap());
+        check_algorithm(&alg, &[0, 1, e, 2 * e + 1]);
+    }
+}
+
+#[test]
+fn fast_meets_on_every_family_with_delays() {
+    for (g, ex) in graphs() {
+        let e = ex.bound() as u64;
+        let alg = Fast::new(g, ex, LabelSpace::new(6).unwrap());
+        check_algorithm(&alg, &[0, 1, e, 2 * e + 1]);
+    }
+}
+
+#[test]
+fn fwr_meets_on_every_family() {
+    for (g, ex) in graphs() {
+        let e = ex.bound() as u64;
+        for w in [1u64, 2, 3] {
+            let alg =
+                FastWithRelabeling::new(g.clone(), ex.clone(), LabelSpace::new(6).unwrap(), w)
+                    .unwrap();
+            check_algorithm(&alg, &[0, e]);
+        }
+    }
+}
+
+#[test]
+fn cheap_simultaneous_meets_on_every_family_without_delays() {
+    for (g, ex) in graphs() {
+        let alg = CheapSimultaneous::new(g, ex, LabelSpace::new(6).unwrap());
+        check_algorithm(&alg, &[0]);
+    }
+}
+
+#[test]
+fn umbrella_crate_reexports_the_stack() {
+    // The `rendezvous` facade exposes all five crates.
+    let g = std::sync::Arc::new(rendezvous::graph::generators::oriented_ring(5).unwrap());
+    let ex = std::sync::Arc::new(
+        rendezvous::explore::OrientedRingExplorer::new(g.clone()).unwrap(),
+    );
+    let alg = rendezvous::core::Fast::new(
+        g,
+        ex,
+        rendezvous::core::LabelSpace::new(4).unwrap(),
+    );
+    assert_eq!(rendezvous::core::RendezvousAlgorithm::name(&alg), "fast");
+}

@@ -1,0 +1,136 @@
+//! Pinning the model semantics of §1.2 across the crate boundaries —
+//! the subtle rules a reimplementation is most likely to get wrong.
+
+use rendezvous_core::{Cheap, Fast, Label, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::OrientedRingExplorer;
+use rendezvous_graph::{generators, NodeId, Port};
+use rendezvous_sim::{Action, AgentSpec, ScriptedAgent, Simulation};
+use std::sync::Arc;
+
+#[test]
+fn crossing_inside_an_edge_is_invisible_to_real_algorithms() {
+    // Construct a Fast execution in which the agents provably cross at
+    // least once before meeting, and verify the engine counted a crossing
+    // while the meeting still happened at a node.
+    let g = Arc::new(generators::oriented_ring(6).unwrap());
+    let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = Fast::new(g.clone(), ex, LabelSpace::new(8).unwrap());
+    let mut saw_crossing = false;
+    'outer: for la in 1..=8u64 {
+        for lb in 1..=8u64 {
+            if la == lb {
+                continue;
+            }
+            for pb in 1..6 {
+                let a = alg.agent(Label::new(la).unwrap(), NodeId::new(0)).unwrap();
+                let b = alg.agent(Label::new(lb).unwrap(), NodeId::new(pb)).unwrap();
+                let out = Simulation::new(&g)
+                    .agent(Box::new(a), AgentSpec::immediate(NodeId::new(0)))
+                    .agent(Box::new(b), AgentSpec::immediate(NodeId::new(pb)))
+                    .max_rounds(4 * alg.time_bound())
+                    .run()
+                    .unwrap();
+                assert!(out.met());
+                if out.crossings() > 0 {
+                    saw_crossing = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+    // On a ring with both agents walking clockwise in different phases,
+    // crossings cannot happen; but Fast's waiting blocks make opposite...
+    // actually both only walk clockwise here. Crossings require opposite
+    // directions, so Fast on an oriented ring never crosses — assert that
+    // instead: the flag must be false.
+    assert!(
+        !saw_crossing,
+        "Fast only moves clockwise on oriented rings: no crossings possible"
+    );
+}
+
+#[test]
+fn scripted_opposite_walkers_do_cross() {
+    let g = Arc::new(generators::oriented_ring(6).unwrap());
+    let cw = ScriptedAgent::new(vec![Action::Move(Port::new(0)); 12]);
+    let ccw = ScriptedAgent::new(vec![Action::Move(Port::new(1)); 12]);
+    let out = Simulation::new(&g)
+        .agent(Box::new(cw), AgentSpec::immediate(NodeId::new(0)))
+        .agent(Box::new(ccw), AgentSpec::immediate(NodeId::new(1)))
+        .max_rounds(12)
+        .run()
+        .unwrap();
+    assert!(out.crossings() > 0, "head-on walkers must cross");
+}
+
+#[test]
+fn cost_counts_both_agents_until_the_meeting_round_inclusive() {
+    let g = Arc::new(generators::oriented_ring(8).unwrap());
+    // Both walk clockwise, 3 apart: never meet within 16 rounds; then one
+    // stops: meeting 3 rounds later. Use scripted agents for exactness.
+    let front = ScriptedAgent::new(vec![Action::Move(Port::new(0)); 5]);
+    let back = ScriptedAgent::new(vec![Action::Move(Port::new(0)); 64]);
+    let out = Simulation::new(&g)
+        .agent(Box::new(front), AgentSpec::immediate(NodeId::new(3)))
+        .agent(Box::new(back), AgentSpec::immediate(NodeId::new(0)))
+        .max_rounds(64)
+        .run()
+        .unwrap();
+    // front moves 5 then parks at node 8 mod 8 = 0; back started at 0 and
+    // is at node r after round r; they coincide when back reaches front:
+    // front at node (3 + min(r,5)) mod 8; back at r mod 8.
+    // r=8: front parked at 0, back at 0 -> meeting round 8.
+    let m = out.meeting().unwrap();
+    assert_eq!(m.round, 8);
+    assert_eq!(out.per_agent_cost(), &[5, 8]);
+    assert_eq!(out.cost(), 13);
+}
+
+#[test]
+fn time_is_counted_from_the_earlier_agent_both_orders() {
+    let g = Arc::new(generators::oriented_ring(10).unwrap());
+    let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = Cheap::new(g.clone(), ex, LabelSpace::new(4).unwrap());
+    // Same instance, delay on either side: time is measured from round 1
+    // (the earlier agent) in both cases.
+    for (da, db) in [(0u64, 6u64), (6, 0)] {
+        let a = alg.agent(Label::new(1).unwrap(), NodeId::new(0)).unwrap();
+        let b = alg.agent(Label::new(3).unwrap(), NodeId::new(5)).unwrap();
+        let out = Simulation::new(&g)
+            .agent(Box::new(a), AgentSpec::delayed(NodeId::new(0), da))
+            .agent(Box::new(b), AgentSpec::delayed(NodeId::new(5), db))
+            .max_rounds(10 * alg.time_bound())
+            .run()
+            .unwrap();
+        let t = out.time().unwrap();
+        let tl = out.time_from_later().unwrap();
+        assert!(t >= tl, "earlier-start accounting dominates");
+        assert_eq!(
+            t,
+            out.meeting().unwrap().round - da.min(db),
+            "time counted from the earlier wake-up"
+        );
+    }
+}
+
+#[test]
+fn agents_cannot_rely_on_node_identities() {
+    // The ScheduleBehavior of the same label and algorithm, started at two
+    // different nodes of the oriented ring, produces the *same* action
+    // sequence (the ring looks identical from everywhere) — anonymity in
+    // action.
+    let g = Arc::new(generators::oriented_ring(9).unwrap());
+    let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = Fast::new(g.clone(), ex, LabelSpace::new(8).unwrap());
+    let horizon = alg.time_bound();
+    let mut traces = Vec::new();
+    for start in [0usize, 4] {
+        let mut agent = alg.agent(Label::new(5).unwrap(), NodeId::new(start)).unwrap();
+        let t = rendezvous_sim::run_solo(&g, &mut agent, NodeId::new(start), horizon).unwrap();
+        traces.push(t.actions);
+    }
+    assert_eq!(
+        traces[0], traces[1],
+        "behaviour vectors are start-independent on the oriented ring"
+    );
+}

@@ -1,0 +1,76 @@
+//! Robustness against the port-numbering adversary: the model lets the
+//! adversary choose port assignments, so the algorithms (with the
+//! map-based explorers, which see the actual assignment) must meet within
+//! their bounds on *any* relabelling of the same topology.
+
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+use rendezvous_core::{Cheap, Fast, Label, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::{verify_explorer, DfsMapExplorer, TrialDfsExplorer};
+use rendezvous_graph::{generators, NodeId};
+use rendezvous_sim::{AgentSpec, Simulation};
+use std::sync::Arc;
+
+fn check_meets(alg: &dyn RendezvousAlgorithm, la: u64, lb: u64, pa: usize, pb: usize, d: u64) {
+    let a = alg.agent(Label::new(la).unwrap(), NodeId::new(pa)).unwrap();
+    let b = alg.agent(Label::new(lb).unwrap(), NodeId::new(pb)).unwrap();
+    let out = Simulation::new(alg.graph())
+        .agent(Box::new(a), AgentSpec::immediate(NodeId::new(pa)))
+        .agent(Box::new(b), AgentSpec::delayed(NodeId::new(pb), d))
+        .max_rounds(4 * alg.time_bound() + 4 * d)
+        .run()
+        .unwrap();
+    let t = out.time().unwrap_or_else(|| {
+        panic!("{} failed on permuted ports", alg.name());
+    });
+    assert!(t <= alg.time_bound());
+    assert!(out.cost() <= alg.cost_bound());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dfs_explorer_contract_survives_port_permutation(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::grid(3, 4).unwrap();
+        let g = Arc::new(generators::permute_ports(&base, &mut rng).unwrap());
+        let ex = DfsMapExplorer::new(g.clone());
+        prop_assert!(verify_explorer(&g, &ex).is_ok());
+    }
+
+    #[test]
+    fn algorithms_meet_on_permuted_graphs(seed in 0u64..10_000, delay in 0u64..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::wheel(7).unwrap();
+        let g = Arc::new(generators::permute_ports(&base, &mut rng).unwrap());
+        let ex = Arc::new(DfsMapExplorer::new(g.clone()));
+        let space = LabelSpace::new(6).unwrap();
+        let cheap = Cheap::new(g.clone(), ex.clone(), space);
+        check_meets(&cheap, 2, 5, 0, 4, delay);
+        let fast = Fast::new(g, ex, space);
+        check_meets(&fast, 2, 5, 0, 4, delay);
+    }
+
+    #[test]
+    fn trial_dfs_survives_port_permutation(seed in 0u64..5_000) {
+        // The map-without-start scenario: permuting ports changes which
+        // candidate walks abort where, but coverage must still hold.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = generators::lollipop(4, 2).unwrap();
+        let g = Arc::new(generators::permute_ports(&base, &mut rng).unwrap());
+        let ex = TrialDfsExplorer::new(g.clone()).unwrap();
+        prop_assert!(verify_explorer(&g, &ex).is_ok());
+    }
+}
+
+#[test]
+fn oriented_ring_explorer_rejects_permuted_rings() {
+    // Port permutation destroys orientation, and the ring explorer's
+    // validation must notice (with overwhelming probability over seeds;
+    // this seed is checked to produce a non-oriented labelling).
+    let mut rng = StdRng::seed_from_u64(3);
+    let base = generators::oriented_ring(10).unwrap();
+    let g = Arc::new(generators::permute_ports(&base, &mut rng).unwrap());
+    assert!(rendezvous_explore::OrientedRingExplorer::new(g).is_err());
+}

@@ -1,0 +1,138 @@
+//! Randomized property tests across the whole stack: for arbitrary ring
+//! sizes, labels, start positions and delays, the paper's algorithms
+//! always meet within their bounds, and the accounting identities hold.
+
+use proptest::prelude::*;
+use rendezvous_core::{Cheap, Fast, FastWithRelabeling, Label, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::OrientedRingExplorer;
+use rendezvous_graph::{generators, NodeId};
+use rendezvous_sim::{AgentSpec, Simulation};
+use std::sync::Arc;
+
+#[derive(Debug, Clone)]
+struct Instance {
+    n: usize,
+    l: u64,
+    la: u64,
+    lb: u64,
+    pa: usize,
+    pb: usize,
+    delay: u64,
+}
+
+fn instances() -> impl Strategy<Value = Instance> {
+    (4usize..20, 2u64..24).prop_flat_map(|(n, l)| {
+        (
+            Just(n),
+            Just(l),
+            1..=l,
+            1..=l,
+            0..n,
+            0..n,
+            0u64..(3 * n as u64),
+        )
+            .prop_map(|(n, l, la, lb, pa, pb, delay)| Instance {
+                n,
+                l,
+                la,
+                lb,
+                pa,
+                pb,
+                delay,
+            })
+            .prop_filter("distinct labels and starts", |i| {
+                i.la != i.lb && i.pa != i.pb
+            })
+    })
+}
+
+fn run_instance(alg: &dyn RendezvousAlgorithm, i: &Instance) -> (u64, u64, u64) {
+    let a = alg.agent(Label::new(i.la).unwrap(), NodeId::new(i.pa)).unwrap();
+    let b = alg.agent(Label::new(i.lb).unwrap(), NodeId::new(i.pb)).unwrap();
+    let out = Simulation::new(alg.graph())
+        .agent(Box::new(a), AgentSpec::immediate(NodeId::new(i.pa)))
+        .agent(Box::new(b), AgentSpec::delayed(NodeId::new(i.pb), i.delay))
+        .max_rounds(8 * alg.time_bound() + 8 * i.delay)
+        .run()
+        .unwrap();
+    let t = out.time().expect("paper algorithms always meet");
+    let per: u64 = out.per_agent_cost().iter().sum();
+    assert_eq!(per, out.cost(), "cost must equal the per-agent sum");
+    (t, out.cost(), out.time_from_later().expect("met"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn cheap_always_meets_within_bounds(i in instances()) {
+        let g = Arc::new(generators::oriented_ring(i.n).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = Cheap::new(g, ex, LabelSpace::new(i.l).unwrap());
+        let (t, c, t_later) = run_instance(&alg, &i);
+        prop_assert!(t <= alg.time_bound());
+        prop_assert!(c <= alg.cost_bound());
+        prop_assert!(t_later <= t, "later-start time never exceeds earlier-start time");
+        // Prop 2.1's refined claim: time <= (2*min_label + 3) * E.
+        let e = alg.exploration_bound();
+        prop_assert!(t <= (2 * i.la.min(i.lb) + 3) * e);
+    }
+
+    #[test]
+    fn fast_always_meets_within_bounds(i in instances()) {
+        let g = Arc::new(generators::oriented_ring(i.n).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = Fast::new(g, ex, LabelSpace::new(i.l).unwrap());
+        let (t, c, _) = run_instance(&alg, &i);
+        prop_assert!(t <= alg.time_bound());
+        prop_assert!(c <= alg.cost_bound());
+        prop_assert!(c <= 2 * t, "cost at most twice the time (two agents, one move each per round)");
+    }
+
+    #[test]
+    fn fwr_always_meets_within_bounds(i in instances(), w in 1u64..4) {
+        let w = w.min(i.l);
+        let g = Arc::new(generators::oriented_ring(i.n).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = FastWithRelabeling::new(g, ex, LabelSpace::new(i.l).unwrap(), w).unwrap();
+        let (t, c, _) = run_instance(&alg, &i);
+        prop_assert!(t <= alg.time_bound());
+        prop_assert!(c <= alg.cost_bound());
+    }
+
+    #[test]
+    fn meetings_are_symmetric_in_roles(i in instances()) {
+        // Swapping which agent is "first" in the simulation (with zero
+        // delay) must not change the meeting round: the engine has no
+        // hidden agent ordering.
+        let g = Arc::new(generators::oriented_ring(i.n).unwrap());
+        let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+        let alg = Fast::new(g.clone(), ex, LabelSpace::new(i.l).unwrap());
+        let run = |first: (u64, usize), second: (u64, usize)| {
+            let a = alg.agent(Label::new(first.0).unwrap(), NodeId::new(first.1)).unwrap();
+            let b = alg.agent(Label::new(second.0).unwrap(), NodeId::new(second.1)).unwrap();
+            Simulation::new(&g)
+                .agent(Box::new(a), AgentSpec::immediate(NodeId::new(first.1)))
+                .agent(Box::new(b), AgentSpec::immediate(NodeId::new(second.1)))
+                .max_rounds(8 * alg.time_bound())
+                .run()
+                .unwrap()
+                .meeting()
+                .expect("met")
+        };
+        let m1 = run((i.la, i.pa), (i.lb, i.pb));
+        let m2 = run((i.lb, i.pb), (i.la, i.pa));
+        prop_assert_eq!(m1.round, m2.round);
+        prop_assert_eq!(m1.node, m2.node);
+    }
+
+    #[test]
+    fn exploration_covers_any_ring_start(n in 3usize..40, s in 0usize..40) {
+        let s = s % n;
+        let g = Arc::new(generators::oriented_ring(n).unwrap());
+        let ex = OrientedRingExplorer::new(g.clone()).unwrap();
+        let mut run = rendezvous_explore::Explorer::begin(&ex, NodeId::new(s));
+        let t = rendezvous_explore::coverage_time(&g, run.as_mut(), NodeId::new(s), n);
+        prop_assert_eq!(t, Some(n - 1));
+    }
+}

@@ -1,0 +1,51 @@
+//! Serialization round-trips: graphs (fixtures for experiments) and the
+//! experiment row types (recorded in EXPERIMENTS.md / CSV output).
+
+use rendezvous_graph::{generators, PortLabeledGraph};
+
+#[test]
+fn every_generator_round_trips_through_json() {
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(1);
+    let graphs = vec![
+        generators::oriented_ring(7).unwrap(),
+        generators::scrambled_ring(7, &mut rng).unwrap(),
+        generators::path(5).unwrap(),
+        generators::star(4).unwrap(),
+        generators::complete(5).unwrap(),
+        generators::hypercube(3).unwrap(),
+        generators::grid(3, 3).unwrap(),
+        generators::torus(3, 4).unwrap(),
+        generators::balanced_binary_tree(3).unwrap(),
+        generators::random_tree(9, &mut rng).unwrap(),
+        generators::erdos_renyi_connected(9, 0.4, &mut rng).unwrap(),
+        generators::random_regular_connected(8, 3, &mut rng).unwrap(),
+    ];
+    for g in graphs {
+        let json = serde_json::to_string(&g).unwrap();
+        let back: PortLabeledGraph = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, g);
+        back.check_invariants().unwrap();
+    }
+}
+
+#[test]
+fn deserialized_graphs_are_revalidated() {
+    // Tampered adjacency (broken symmetry) must be caught by the explicit
+    // invariant check, the documented pattern for untrusted input.
+    let g = generators::oriented_ring(4).unwrap();
+    let mut value: serde_json::Value = serde_json::to_value(&g).unwrap();
+    // break one half-edge's entry port
+    value["adj"][0][0]["entry"] = serde_json::json!(0);
+    let tampered: PortLabeledGraph = serde_json::from_value(value).unwrap();
+    assert!(tampered.check_invariants().is_err());
+}
+
+#[test]
+fn experiment_rows_serialize_for_csv_and_json_export() {
+    let rows = rendezvous_bench::x3_relabel::run_bounds(&[16], &[2]);
+    let json = serde_json::to_string(&rows).unwrap();
+    assert!(json.contains("\"time_bound_per_e\""));
+    let m = rendezvous_bench::common::Measured { time: 3, cost: 4 };
+    assert_eq!(serde_json::to_string(&m).unwrap(), r#"{"time":3,"cost":4}"#);
+}
