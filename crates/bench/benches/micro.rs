@@ -6,8 +6,8 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rendezvous_core::{lex_subset_bits, Fast, Label, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{dfs_walk, DfsMapExplorer, Explorer, OrientedRingExplorer};
-use rendezvous_graph::{generators, NodeId};
-use rendezvous_sim::{AgentSpec, Simulation};
+use rendezvous_graph::{generators, NodeId, Port};
+use rendezvous_sim::{Action, AgentSpec, MeetingCondition, ScriptedAgent, Simulation};
 use std::hint::black_box;
 use std::sync::Arc;
 
@@ -34,6 +34,42 @@ fn engine_throughput(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+}
+
+/// The hot-loop refactor target: round throughput with many agents, where
+/// the per-round meeting scan and crossing detection dominate. A fleet of
+/// `k` clockwise walkers spread over a large ring never meets, so every
+/// round pays the full occupancy check. Before the hash-based occupancy
+/// map this scan was O(k²) per round.
+fn engine_occupancy(c: &mut Criterion) {
+    let g = Arc::new(generators::oriented_ring(4096).unwrap());
+    for k in [2usize, 8, 32, 128] {
+        c.bench_function(&format!("engine/occupancy_scan_k{k}"), |b| {
+            b.iter_batched(
+                || {
+                    // FirstPair is the condition whose scan was quadratic.
+                    let mut sim = Simulation::new(&g)
+                        .max_rounds(256)
+                        .meeting_condition(MeetingCondition::FirstPair);
+                    for i in 0..k {
+                        // Same direction, same speed: the fleet rotates
+                        // rigidly and never meets.
+                        sim = sim.agent(
+                            Box::new(ScriptedAgent::new(vec![Action::Move(Port::new(0)); 256])),
+                            AgentSpec::immediate(NodeId::new(i * (4096 / k))),
+                        );
+                    }
+                    sim
+                },
+                |sim| {
+                    let out = sim.run().unwrap();
+                    assert!(!out.met());
+                    black_box(out.rounds_executed())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
 }
 
 fn walk_computation(c: &mut Criterion) {
@@ -92,6 +128,6 @@ fn graph_generation(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = engine_throughput, walk_computation, label_machinery, graph_generation
+    targets = engine_throughput, engine_occupancy, walk_computation, label_machinery, graph_generation
 }
 criterion_main!(benches);

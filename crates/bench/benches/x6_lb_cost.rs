@@ -2,12 +2,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rendezvous_bench::x6_lb_cost;
+use rendezvous_runner::Runner;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("x6/progress_n12", |b| {
         b.iter(|| {
-            let rows = x6_lb_cost::run(12, &[4, 8]);
+            let rows = x6_lb_cost::run(12, &[4, 8], &Runner::with_threads(2));
             for r in &rows {
                 assert!(r.witnesses_hold);
             }

@@ -2,12 +2,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rendezvous_bench::x9_gathering;
+use rendezvous_runner::Runner;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
     c.bench_function("x9/gathering_n12", |b| {
         b.iter(|| {
-            let rows = x9_gathering::run(12, 32, &[2, 3]);
+            let rows = x9_gathering::run(12, 32, &[2, 3], &Runner::with_threads(2));
             for r in &rows {
                 assert!(r.rounds <= r.bound);
             }

@@ -3,29 +3,54 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [all|x1|x2|...|x9]... [--quick] [--json]
+//! experiments [all|x1|x2|...|x9]... [--quick] [--json] [--sequential|--parallel]
 //! ```
 //!
 //! `--quick` shrinks the sweeps (used by CI); the default parameters are
 //! the ones recorded in `EXPERIMENTS.md`. `--json` emits the raw rows as
 //! JSON (one document per experiment) instead of markdown tables, for
-//! plotting pipelines.
+//! plotting pipelines — section headings go to stderr in that mode, so
+//! stdout stays a clean JSON stream (`experiments all --json | jq` works).
+//!
+//! Every experiment executes through the shared `rendezvous-runner`
+//! engine. `--parallel` (the default) uses all hardware threads;
+//! `--sequential` forces one thread. The two modes produce **identical**
+//! tables — the runner folds outcomes in scenario order either way — so
+//! diffing the outputs is a quick end-to-end determinism check:
+//!
+//! ```text
+//! diff <(experiments all --quick --sequential) <(experiments all --quick --parallel)
+//! ```
 
 use rendezvous_bench::*;
+use rendezvous_runner::Runner;
 
 struct Config {
     quick: bool,
     json: bool,
-    threads: usize,
+    runner: Runner,
 }
 
 /// Emits either the rendered markdown or the serialized rows.
 fn emit<R: serde::Serialize>(cfg: &Config, id: &str, rows: &[R], rendered: String) {
     if cfg.json {
         let doc = serde_json::json!({ "experiment": id, "rows": rows });
-        println!("{}", serde_json::to_string_pretty(&doc).expect("serializable rows"));
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&doc).expect("serializable rows")
+        );
     } else {
         print!("{rendered}");
+    }
+}
+
+/// Prints a section heading: to stdout for markdown output, to stderr in
+/// `--json` mode so stdout stays a clean JSON stream for pipelines.
+fn section(cfg: &Config, heading: &str) {
+    if cfg.json {
+        eprintln!("{heading}");
+    } else {
+        println!("{heading}");
     }
 }
 
@@ -33,6 +58,12 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let sequential = args.iter().any(|a| a == "--sequential");
+    let parallel = args.iter().any(|a| a == "--parallel");
+    if sequential && parallel {
+        eprintln!("--sequential and --parallel are mutually exclusive");
+        std::process::exit(2);
+    }
     let mut wanted: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -44,9 +75,11 @@ fn main() {
     let cfg = Config {
         quick,
         json,
-        threads: std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(4),
+        runner: if sequential {
+            Runner::sequential()
+        } else {
+            Runner::parallel()
+        },
     };
     for w in wanted {
         match w {
@@ -65,30 +98,44 @@ fn main() {
 }
 
 fn x1(cfg: &Config) {
-    println!("\n## X1 — Proposition 2.1: Cheap (cost <= 3E, time <= (2L+1)E)\n");
+    section(
+        cfg,
+        "\n## X1 — Proposition 2.1: Cheap (cost <= 3E, time <= (2L+1)E)\n",
+    );
     let (n, ls): (usize, Vec<u64>) = if cfg.quick {
         (8, vec![2, 4, 8])
     } else {
         (12, vec![2, 4, 8, 16, 32])
     };
-    let rows = x1_cheap::run(n, &ls, ls.iter().max().copied().unwrap_or(8) <= 8, cfg.threads);
+    let rows = x1_cheap::run(
+        n,
+        &ls,
+        ls.iter().max().copied().unwrap_or(8) <= 8,
+        &cfg.runner,
+    );
     emit(cfg, "x1", &rows, x1_cheap::render(&rows));
 }
 
 fn x2(cfg: &Config) {
-    println!("\n## X2 — Proposition 2.2: Fast (time and cost O(E log L))\n");
+    section(
+        cfg,
+        "\n## X2 — Proposition 2.2: Fast (time and cost O(E log L))\n",
+    );
     let (n, ls): (usize, Vec<u64>) = if cfg.quick {
         (8, vec![2, 8, 32])
     } else {
         (12, vec![2, 4, 8, 16, 64, 256])
     };
-    let rows = x2_fast::run(n, &ls, false, cfg.threads);
+    let rows = x2_fast::run(n, &ls, false, &cfg.runner);
     emit(cfg, "x2", &rows, x2_fast::render(&rows));
 }
 
 fn x3(cfg: &Config) {
-    println!("\n## X3 — Proposition 2.3 / Corollary 2.1: FastWithRelabeling(w)\n");
-    println!("### Analytic bounds (per E)\n");
+    section(
+        cfg,
+        "\n## X3 — Proposition 2.3 / Corollary 2.1: FastWithRelabeling(w)\n",
+    );
+    section(cfg, "### Analytic bounds (per E)\n");
     let ls: Vec<u64> = if cfg.quick {
         vec![16, 256]
     } else {
@@ -96,62 +143,78 @@ fn x3(cfg: &Config) {
     };
     let rows = x3_relabel::run_bounds(&ls, &[1, 2, 3, 4]);
     emit(cfg, "x3-bounds", &rows, x3_relabel::render_bounds(&rows));
-    println!("\n### Measured on an oriented ring\n");
+    section(cfg, "\n### Measured on an oriented ring\n");
     let (n, l) = if cfg.quick { (6, 8) } else { (10, 16) };
-    let rows = x3_relabel::run_exec(n, l, &[1, 2, 3, 4], cfg.threads);
+    let rows = x3_relabel::run_exec(n, l, &[1, 2, 3, 4], &cfg.runner);
     emit(cfg, "x3-exec", &rows, x3_relabel::render_exec(&rows));
 }
 
 fn x4(cfg: &Config) {
-    println!("\n## X4 — The time/cost tradeoff frontier\n");
+    section(cfg, "\n## X4 — The time/cost tradeoff frontier\n");
     let (n, l, ws): (usize, u64, Vec<u64>) = if cfg.quick {
         (8, 32, vec![2, 3])
     } else {
         (12, 64, vec![1, 2, 3, 4, 5])
     };
-    let points = x4_tradeoff::run(n, l, &ws, cfg.threads);
+    let points = x4_tradeoff::run(n, l, &ws, &cfg.runner);
     emit(cfg, "x4", &points, x4_tradeoff::render(&points));
 }
 
 fn x5(cfg: &Config) {
-    println!("\n## X5 — Theorem 3.1: cost E + o(E) forces time Omega(EL)\n");
+    section(
+        cfg,
+        "\n## X5 — Theorem 3.1: cost E + o(E) forces time Omega(EL)\n",
+    );
     let (n, ls): (usize, Vec<u64>) = if cfg.quick {
         (12, vec![4, 8])
     } else {
         (12, vec![4, 6, 8, 10, 12, 16])
     };
-    let rows = x5_lb_time::run(n, &ls);
+    let rows = x5_lb_time::run(n, &ls, &cfg.runner);
     emit(cfg, "x5", &rows, x5_lb_time::render(&rows));
 }
 
 fn x6(cfg: &Config) {
-    println!("\n## X6 — Theorem 3.2: time O(E log L) forces cost Omega(E log L)\n");
+    section(
+        cfg,
+        "\n## X6 — Theorem 3.2: time O(E log L) forces cost Omega(E log L)\n",
+    );
     let (n, ls): (usize, Vec<u64>) = if cfg.quick {
         (12, vec![4, 8])
     } else {
         (12, vec![4, 8, 16, 32])
     };
-    let rows = x6_lb_cost::run(n, &ls);
+    let rows = x6_lb_cost::run(n, &ls, &cfg.runner);
     emit(cfg, "x6", &rows, x6_lb_cost::render(&rows));
 }
 
 fn x7(cfg: &Config) {
-    println!("\n## X7 — Graph families and exploration scenarios\n");
+    section(cfg, "\n## X7 — Graph families and exploration scenarios\n");
     let l = if cfg.quick { 4 } else { 8 };
-    let rows = x7_families::run(l, 0xBEEF, cfg.threads);
+    let rows = x7_families::run(l, 0xBEEF, &cfg.runner);
     emit(cfg, "x7", &rows, x7_families::render(&rows));
 }
 
-fn x9(cfg: &Config) {
-    println!("\n## X9 — Extension: k-agent gathering by merge-and-restart\n");
-    let ks: Vec<usize> = if cfg.quick { vec![2, 3] } else { vec![2, 3, 4, 5, 6] };
-    let rows = x9_gathering::run(12, 32, &ks);
-    emit(cfg, "x9", &rows, x9_gathering::render(&rows));
+fn x8(cfg: &Config) {
+    section(
+        cfg,
+        "\n## X8 — Unknown E: iterated algorithms (Conclusion)\n",
+    );
+    let ns: Vec<usize> = if cfg.quick { vec![6] } else { vec![6, 12, 24] };
+    let rows = x8_iterated::run(&ns, 4, &cfg.runner);
+    emit(cfg, "x8", &rows, x8_iterated::render(&rows));
 }
 
-fn x8(cfg: &Config) {
-    println!("\n## X8 — Unknown E: iterated algorithms (Conclusion)\n");
-    let ns: Vec<usize> = if cfg.quick { vec![6] } else { vec![6, 12, 24] };
-    let rows = x8_iterated::run(&ns, 4, cfg.threads);
-    emit(cfg, "x8", &rows, x8_iterated::render(&rows));
+fn x9(cfg: &Config) {
+    section(
+        cfg,
+        "\n## X9 — Extension: k-agent gathering by merge-and-restart\n",
+    );
+    let ks: Vec<usize> = if cfg.quick {
+        vec![2, 3]
+    } else {
+        vec![2, 3, 4, 5, 6]
+    };
+    let rows = x9_gathering::run(12, 32, &ks, &cfg.runner);
+    emit(cfg, "x9", &rows, x9_gathering::render(&rows));
 }

@@ -1,10 +1,11 @@
 //! Shared plumbing for the experiments: standard setups, adversarial
-//! measurement over sampled label pairs, and table rendering.
+//! sweeps through the shared [`rendezvous_runner`] engine, and table
+//! rendering.
 
-use rendezvous_core::{Label, RendezvousAlgorithm};
+use rendezvous_core::RendezvousAlgorithm;
 use rendezvous_explore::{Explorer, OrientedRingExplorer};
 use rendezvous_graph::{generators, PortLabeledGraph};
-use rendezvous_sim::adversary::{worst_case_search, Objective, WorstCase};
+use rendezvous_runner::{AlgorithmExecutor, Bounds, Grid, Runner, SweepStats};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -29,8 +30,24 @@ pub struct Measured {
     pub cost: u64,
 }
 
-/// Exhausts positions × delays for each given label pair (both role
-/// orders) and returns the worst time and cost observed anywhere.
+/// The standard adversarial grid of one algorithm: every given label pair
+/// in both role orders × all ordered start pairs × the given delays.
+#[must_use]
+pub fn adversarial_grid(
+    algorithm: &dyn RendezvousAlgorithm,
+    label_pairs: &[(u64, u64)],
+    delays: &[u64],
+    horizon: u64,
+) -> Grid {
+    Grid::new(horizon)
+        .label_pairs_both_orders(label_pairs)
+        .delays(delays)
+        .all_start_pairs(algorithm.graph())
+}
+
+/// Sweeps the standard adversarial grid through the shared [`Runner`] and
+/// returns the full aggregate statistics, checked against the algorithm's
+/// paper bounds.
 ///
 /// # Panics
 ///
@@ -38,62 +55,55 @@ pub struct Measured {
 /// algorithms always meet within their bounds, so this is a correctness
 /// alarm, not a reportable outcome.
 #[must_use]
+pub fn sweep_worst(
+    algorithm: &dyn RendezvousAlgorithm,
+    label_pairs: &[(u64, u64)],
+    delays: &[u64],
+    horizon: u64,
+    runner: &Runner,
+) -> SweepStats {
+    let grid = adversarial_grid(algorithm, label_pairs, delays, horizon);
+    let stats = runner
+        .sweep_bounded(
+            &AlgorithmExecutor::new(algorithm),
+            &grid.scenarios(),
+            Some(Bounds {
+                time: algorithm.time_bound(),
+                cost: algorithm.cost_bound(),
+            }),
+        )
+        .unwrap_or_else(|e| panic!("adversarial sweep failed: {e}"));
+    assert!(
+        stats.executed > 0,
+        "empty adversarial grid for algorithm {} — misconfigured sweep \
+         (no label pairs, no delays, or a graph without distinct start pairs)",
+        algorithm.name()
+    );
+    assert_eq!(
+        stats.failures,
+        0,
+        "algorithm {} failed to meet in {} of {} configurations",
+        algorithm.name(),
+        stats.failures,
+        stats.executed
+    );
+    stats
+}
+
+/// [`sweep_worst`] reduced to the worst time and cost observed anywhere —
+/// the measurement every experiment table reports.
+#[must_use]
 pub fn measure_worst(
     algorithm: &dyn RendezvousAlgorithm,
     label_pairs: &[(u64, u64)],
     delays: &[u64],
     horizon: u64,
-    threads: usize,
+    runner: &Runner,
 ) -> Measured {
-    let mut worst_time = 0u64;
-    let mut worst_cost = 0u64;
-    for &(la, lb) in label_pairs {
-        for (first, second) in [(la, lb), (lb, la)] {
-            let factory = move |pa: rendezvous_graph::NodeId, pb: rendezvous_graph::NodeId| {
-                let a = algorithm
-                    .agent(Label::new(first).expect(">0"), pa)
-                    .expect("label in space");
-                let b = algorithm
-                    .agent(Label::new(second).expect(">0"), pb)
-                    .expect("label in space");
-                (
-                    Box::new(a) as Box<dyn rendezvous_sim::AgentBehavior>,
-                    Box::new(b) as Box<dyn rendezvous_sim::AgentBehavior>,
-                )
-            };
-            let wc: Option<WorstCase> = worst_case_search(
-                algorithm.graph(),
-                &factory,
-                delays,
-                Objective::Time,
-                horizon,
-                threads,
-            );
-            let wc = wc.expect("graphs have >= 2 nodes");
-            assert_ne!(
-                wc.value,
-                u64::MAX,
-                "algorithm {} failed to meet for labels ({first},{second})",
-                algorithm.name()
-            );
-            worst_time = worst_time.max(wc.time);
-            // A second sweep maximizing cost (cost maximum can occur at a
-            // different adversarial choice than the time maximum).
-            let wc_cost = worst_case_search(
-                algorithm.graph(),
-                &factory,
-                delays,
-                Objective::Cost,
-                horizon,
-                threads,
-            )
-            .expect("graphs have >= 2 nodes");
-            worst_cost = worst_cost.max(wc_cost.cost);
-        }
-    }
+    let stats = sweep_worst(algorithm, label_pairs, delays, horizon, runner);
     Measured {
-        time: worst_time,
-        cost: worst_cost,
+        time: stats.max_time,
+        cost: stats.max_cost,
     }
 }
 
@@ -162,16 +172,38 @@ mod tests {
     fn measure_worst_respects_bounds_on_cheap() {
         let (g, ex) = ring_setup(6);
         let alg = Cheap::new(g, ex, LabelSpace::new(4).unwrap());
+        let runner = Runner::with_threads(2);
         let m = measure_worst(
             &alg,
             &all_label_pairs(4),
             &standard_delays(5),
             4 * alg.time_bound(),
-            2,
+            &runner,
         );
         assert!(m.time <= alg.time_bound());
         assert!(m.cost <= alg.cost_bound());
         assert!(m.time >= alg.exploration_bound());
+    }
+
+    #[test]
+    fn sweep_worst_reports_clean_stats_within_bounds() {
+        let (g, ex) = ring_setup(6);
+        let alg = Cheap::new(g, ex, LabelSpace::new(4).unwrap());
+        let stats = sweep_worst(
+            &alg,
+            &all_label_pairs(4),
+            &standard_delays(5),
+            4 * alg.time_bound(),
+            &Runner::sequential(),
+        );
+        assert!(stats.clean(), "Cheap must stay within its paper bounds");
+        assert_eq!(
+            stats.executed,
+            all_label_pairs(4).len() * 2 * 30 * standard_delays(5).len(),
+            "both label orders x ordered start pairs x delays"
+        );
+        assert!(stats.mean_time() <= stats.max_time as f64);
+        assert!(stats.worst_time.is_some() && stats.worst_cost.is_some());
     }
 
     #[test]

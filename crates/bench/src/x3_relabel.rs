@@ -8,6 +8,7 @@
 
 use crate::common::{all_label_pairs, measure_worst, ring_setup, standard_delays};
 use rendezvous_core::{smallest_t, FastWithRelabeling, LabelSpace, RendezvousAlgorithm};
+use rendezvous_runner::Runner;
 use serde::Serialize;
 
 /// Analytic row: the bound structure for one `(L, w)`.
@@ -73,7 +74,7 @@ pub fn run_bounds(ls: &[u64], ws: &[u64]) -> Vec<BoundRow> {
 
 /// Execution sweep on an oriented ring, exhaustive over label pairs.
 #[must_use]
-pub fn run_exec(n: usize, l: u64, ws: &[u64], threads: usize) -> Vec<ExecRow> {
+pub fn run_exec(n: usize, l: u64, ws: &[u64], runner: &Runner) -> Vec<ExecRow> {
     let (g, ex) = ring_setup(n);
     let e = (n - 1) as u64;
     let delays = standard_delays(e);
@@ -88,7 +89,7 @@ pub fn run_exec(n: usize, l: u64, ws: &[u64], threads: usize) -> Vec<ExecRow> {
                 w,
             )
             .expect("valid weight");
-            let m = measure_worst(&alg, &pairs, &delays, 4 * alg.time_bound(), threads);
+            let m = measure_worst(&alg, &pairs, &delays, 4 * alg.time_bound(), runner);
             ExecRow {
                 n,
                 l,
@@ -105,7 +106,14 @@ pub fn run_exec(n: usize, l: u64, ws: &[u64], threads: usize) -> Vec<ExecRow> {
 /// Renders the analytic table.
 #[must_use]
 pub fn render_bounds(rows: &[BoundRow]) -> String {
-    let header = ["L", "w", "t", "time/(E) = 4t+5", "corollary 4wL^(1/w)+5", "cost/(E) = 4w+2"];
+    let header = [
+        "L",
+        "w",
+        "t",
+        "time/(E) = 4t+5",
+        "corollary 4wL^(1/w)+5",
+        "cost/(E) = 4w+2",
+    ];
     let body = rows
         .iter()
         .map(|r| {
@@ -125,7 +133,15 @@ pub fn render_bounds(rows: &[BoundRow]) -> String {
 /// Renders the execution table.
 #[must_use]
 pub fn render_exec(rows: &[ExecRow]) -> String {
-    let header = ["n", "L", "w", "time", "bound (4t+5)E", "cost", "bound (4w+2)E"];
+    let header = [
+        "n",
+        "L",
+        "w",
+        "time",
+        "bound (4t+5)E",
+        "cost",
+        "bound (4w+2)E",
+    ];
     let body = rows
         .iter()
         .map(|r| {
@@ -169,7 +185,7 @@ mod tests {
 
     #[test]
     fn x3_exec_within_bounds() {
-        let rows = run_exec(6, 8, &[1, 2, 3], 4);
+        let rows = run_exec(6, 8, &[1, 2, 3], &Runner::with_threads(4));
         for r in &rows {
             assert!(r.time <= r.time_bound);
             assert!(r.cost <= r.cost_bound);

@@ -10,6 +10,7 @@
 use crate::common::ring_setup;
 use rendezvous_core::{CheapSimultaneous, LabelSpace, RendezvousAlgorithm};
 use rendezvous_lower_bounds::eager_chain_audit;
+use rendezvous_runner::Runner;
 use serde::Serialize;
 
 /// One row of the X5 table.
@@ -41,34 +42,38 @@ pub struct Row {
 ///
 /// Panics if the audit fails (it cannot, for `CheapSimultaneous`).
 #[must_use]
-pub fn run(n: usize, ls: &[u64]) -> Vec<Row> {
-    ls.iter()
-        .map(|&l| {
-            let (g, ex) = ring_setup(n);
-            let alg = CheapSimultaneous::new(g, ex, LabelSpace::new(l).expect("l >= 2"));
-            let report =
-                eager_chain_audit(&alg, 20 * alg.time_bound()).expect("audit must succeed");
-            Row {
-                n,
-                l,
-                f: report.f,
-                phi: report.phi,
-                heavy: report.heavy.len(),
-                witness: report.witness,
-                chain_time: report.chain_final_time(),
-                increasing: report.strictly_increasing,
-                upper_bound: alg.time_bound(),
-            }
-        })
-        .collect()
+pub fn run(n: usize, ls: &[u64], runner: &Runner) -> Vec<Row> {
+    runner.map(ls.to_vec(), |_, l| {
+        let (g, ex) = ring_setup(n);
+        let alg = CheapSimultaneous::new(g, ex, LabelSpace::new(l).expect("l >= 2"));
+        let report = eager_chain_audit(&alg, 20 * alg.time_bound()).expect("audit must succeed");
+        Row {
+            n,
+            l,
+            f: report.f,
+            phi: report.phi,
+            heavy: report.heavy.len(),
+            witness: report.witness,
+            chain_time: report.chain_final_time(),
+            increasing: report.strictly_increasing,
+            upper_bound: alg.time_bound(),
+        }
+    })
 }
 
 /// Renders the table.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
     let header = [
-        "n", "L", "F", "phi", "heavy", "witness (L/2-1)(F-3phi)/2", "measured chain time",
-        "increasing", "upper bound (L-1)E",
+        "n",
+        "L",
+        "F",
+        "phi",
+        "heavy",
+        "witness (L/2-1)(F-3phi)/2",
+        "measured chain time",
+        "increasing",
+        "upper bound (L-1)E",
     ];
     let body = rows
         .iter()
@@ -95,7 +100,7 @@ mod tests {
 
     #[test]
     fn x5_witness_grows_linearly_and_holds() {
-        let rows = run(12, &[4, 8, 12]);
+        let rows = run(12, &[4, 8, 12], &Runner::with_threads(3));
         for r in &rows {
             assert_eq!(r.phi, 0);
             assert!(r.increasing, "Fact 3.7 violated at L={}", r.l);

@@ -11,6 +11,7 @@
 use crate::common::ring_setup;
 use rendezvous_core::{Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_lower_bounds::progress_audit;
+use rendezvous_runner::Runner;
 use serde::Serialize;
 
 /// One row of the X6 table.
@@ -44,35 +45,41 @@ pub struct Row {
 ///
 /// Panics if the audit fails (wrong ring size or a non-meeting execution).
 #[must_use]
-pub fn run(n: usize, ls: &[u64]) -> Vec<Row> {
+pub fn run(n: usize, ls: &[u64], runner: &Runner) -> Vec<Row> {
     assert_eq!(n % 6, 0, "X6 needs 6 | n");
-    ls.iter()
-        .map(|&l| {
-            let (g, ex) = ring_setup(n);
-            let alg = Fast::new(g, ex, LabelSpace::new(l).expect("l >= 2"));
-            let report = progress_audit(&alg, 4 * alg.time_bound()).expect("audit must succeed");
-            Row {
-                n,
-                l,
-                log2_l: (l as f64).log2().ceil() as u32,
-                group_size: report.group.len(),
-                m_blocks: report.m_blocks,
-                distinct: report.all_distinct,
-                max_nonzero: report.max_nonzero,
-                cost_witness: report.cost_witness,
-                witnesses_hold: report.witnesses_hold,
-                measured_cost: report.trimmed.max_cost,
-            }
-        })
-        .collect()
+    runner.map(ls.to_vec(), |_, l| {
+        let (g, ex) = ring_setup(n);
+        let alg = Fast::new(g, ex, LabelSpace::new(l).expect("l >= 2"));
+        let report = progress_audit(&alg, 4 * alg.time_bound()).expect("audit must succeed");
+        Row {
+            n,
+            l,
+            log2_l: (l as f64).log2().ceil() as u32,
+            group_size: report.group.len(),
+            m_blocks: report.m_blocks,
+            distinct: report.all_distinct,
+            max_nonzero: report.max_nonzero,
+            cost_witness: report.cost_witness,
+            witnesses_hold: report.witnesses_hold,
+            measured_cost: report.trimmed.max_cost,
+        }
+    })
 }
 
 /// Renders the table.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
     let header = [
-        "n", "L", "log2 L", "group", "M", "distinct", "max nonzero", "cost witness k*n/6",
-        "fact 3.17 holds", "measured cost",
+        "n",
+        "L",
+        "log2 L",
+        "group",
+        "M",
+        "distinct",
+        "max nonzero",
+        "cost witness k*n/6",
+        "fact 3.17 holds",
+        "measured cost",
     ];
     let body = rows
         .iter()
@@ -100,7 +107,7 @@ mod tests {
 
     #[test]
     fn x6_witnesses_hold_and_cost_tracks_log_l() {
-        let rows = run(12, &[4, 16]);
+        let rows = run(12, &[4, 16], &Runner::with_threads(2));
         for r in &rows {
             assert!(r.witnesses_hold, "Fact 3.17 violated at L={}", r.l);
             assert!(r.max_nonzero >= 1);

@@ -6,14 +6,15 @@
 //! bounds hold with the family-specific `E`.
 
 use crate::common::{measure_worst, standard_delays};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{
     DfsMapExplorer, EulerianExplorer, Explorer, HamiltonianExplorer, OrientedRingExplorer,
     TrialDfsExplorer, UxsExplorer,
 };
 use rendezvous_graph::{generators, HamiltonianCycle, PortLabeledGraph};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rendezvous_runner::Runner;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -110,7 +111,7 @@ fn families(seed: u64) -> Vec<(String, Arc<PortLabeledGraph>, Arc<dyn Explorer>)
 
 /// Runs `Cheap` and `Fast` with label space `L` over every family.
 #[must_use]
-pub fn run(l: u64, seed: u64, threads: usize) -> Vec<Row> {
+pub fn run(l: u64, seed: u64, runner: &Runner) -> Vec<Row> {
     let space = LabelSpace::new(l).expect("l >= 2");
     let pairs = crate::common::standard_label_pairs(l);
     families(seed)
@@ -119,9 +120,9 @@ pub fn run(l: u64, seed: u64, threads: usize) -> Vec<Row> {
             let e = explorer.bound() as u64;
             let delays = standard_delays(e);
             let cheap = Cheap::new(graph.clone(), explorer.clone(), space);
-            let mc = measure_worst(&cheap, &pairs, &delays, 4 * cheap.time_bound(), threads);
+            let mc = measure_worst(&cheap, &pairs, &delays, 4 * cheap.time_bound(), runner);
             let fast = Fast::new(graph.clone(), explorer.clone(), space);
-            let mf = measure_worst(&fast, &pairs, &delays, 4 * fast.time_bound(), threads);
+            let mf = measure_worst(&fast, &pairs, &delays, 4 * fast.time_bound(), runner);
             Row {
                 family,
                 explorer: explorer.name(),
@@ -143,8 +144,17 @@ pub fn run(l: u64, seed: u64, threads: usize) -> Vec<Row> {
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
     let header = [
-        "family", "explorer", "n", "edges", "E", "cheap time", "bound", "cheap cost",
-        "fast time", "bound", "fast cost",
+        "family",
+        "explorer",
+        "n",
+        "edges",
+        "E",
+        "cheap time",
+        "bound",
+        "cheap cost",
+        "fast time",
+        "bound",
+        "fast cost",
     ];
     let body = rows
         .iter()
@@ -173,7 +183,7 @@ mod tests {
 
     #[test]
     fn x7_all_families_meet_within_bounds() {
-        let rows = run(6, 0xBEEF, 4);
+        let rows = run(6, 0xBEEF, &Runner::with_threads(4));
         assert_eq!(rows.len(), 8);
         for r in &rows {
             assert!(

@@ -7,10 +7,9 @@
 //! iterated versions pay a small constant factor, not an asymptotic one.
 
 use crate::common::{measure_worst, ring_setup, standard_delays, standard_label_pairs};
-use rendezvous_core::{
-    BaseAlgorithm, Cheap, Fast, Iterated, LabelSpace, RendezvousAlgorithm,
-};
+use rendezvous_core::{BaseAlgorithm, Cheap, Fast, Iterated, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{ExplorationFamily, RingDoublingFamily};
+use rendezvous_runner::Runner;
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -37,7 +36,7 @@ pub struct Row {
 
 /// Runs the comparison on an `n`-ring with label space `L`.
 #[must_use]
-pub fn run(ns: &[usize], l: u64, threads: usize) -> Vec<Row> {
+pub fn run(ns: &[usize], l: u64, runner: &Runner) -> Vec<Row> {
     let space = LabelSpace::new(l).expect("l >= 2");
     let pairs = standard_label_pairs(l);
     let mut rows = Vec::new();
@@ -47,21 +46,22 @@ pub fn run(ns: &[usize], l: u64, threads: usize) -> Vec<Row> {
         let delays = standard_delays(e);
         let fam = Arc::new(RingDoublingFamily::new());
         let top = fam.level_for(n);
-        for (base, name) in [(BaseAlgorithm::Fast, "fast"), (BaseAlgorithm::Cheap, "cheap")] {
-            let iter = Iterated::new(g.clone(), fam.clone(), space, base, 1..=top)
-                .expect("valid levels");
-            let mi = measure_worst(&iter, &pairs, &delays, 8 * iter.time_bound(), threads);
+        for (base, name) in [
+            (BaseAlgorithm::Fast, "fast"),
+            (BaseAlgorithm::Cheap, "cheap"),
+        ] {
+            let iter =
+                Iterated::new(g.clone(), fam.clone(), space, base, 1..=top).expect("valid levels");
+            let mi = measure_worst(&iter, &pairs, &delays, 8 * iter.time_bound(), runner);
             let (plain_time, plain_cost) = match base {
                 BaseAlgorithm::Fast => {
                     let plain = Fast::new(g.clone(), ex.clone(), space);
-                    let m =
-                        measure_worst(&plain, &pairs, &delays, 4 * plain.time_bound(), threads);
+                    let m = measure_worst(&plain, &pairs, &delays, 4 * plain.time_bound(), runner);
                     (m.time, m.cost)
                 }
                 _ => {
                     let plain = Cheap::new(g.clone(), ex.clone(), space);
-                    let m =
-                        measure_worst(&plain, &pairs, &delays, 4 * plain.time_bound(), threads);
+                    let m = measure_worst(&plain, &pairs, &delays, 4 * plain.time_bound(), runner);
                     (m.time, m.cost)
                 }
             };
@@ -84,7 +84,13 @@ pub fn run(ns: &[usize], l: u64, threads: usize) -> Vec<Row> {
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
     let header = [
-        "n", "base", "iterated time", "plain time", "ratio", "iterated cost", "plain cost",
+        "n",
+        "base",
+        "iterated time",
+        "plain time",
+        "ratio",
+        "iterated cost",
+        "plain cost",
         "ratio",
     ];
     let body = rows
@@ -111,7 +117,7 @@ mod tests {
 
     #[test]
     fn x8_iterated_pays_only_a_constant_factor() {
-        let rows = run(&[6, 12], 4, 4);
+        let rows = run(&[6, 12], 4, &Runner::with_threads(4));
         for r in &rows {
             // Telescoping: a modest constant factor, not an n- or L-factor.
             assert!(

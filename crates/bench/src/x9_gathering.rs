@@ -10,6 +10,7 @@
 use crate::common::ring_setup;
 use rendezvous_core::{gathering_fleet, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_graph::NodeId;
+use rendezvous_runner::Runner;
 use rendezvous_sim::gathering::run_gathering;
 use serde::Serialize;
 use std::sync::Arc;
@@ -40,48 +41,53 @@ pub struct Row {
 /// Panics if a gathering fails to complete within the analytic bound —
 /// a correctness violation of the merge-and-restart argument.
 #[must_use]
-pub fn run(n: usize, l: u64, ks: &[usize]) -> Vec<Row> {
+pub fn run(n: usize, l: u64, ks: &[usize], runner: &Runner) -> Vec<Row> {
     let (g, ex) = ring_setup(n);
     let space = LabelSpace::new(l).expect("l >= 2");
     let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(g.clone(), ex, space));
-    ks.iter()
-        .map(|&k| {
-            assert!(k >= 2 && k <= n && (k as u64) <= l, "fleet must fit");
-            let placements: Vec<(u64, NodeId, u64)> = (0..k)
-                .map(|i| {
-                    let label = 1 + (i as u64 * (l - 1)) / (k as u64 - 1).max(1);
-                    let start = NodeId::new(i * n / k);
-                    let delay = (7 * i as u64) % 13;
-                    (label, start, delay)
-                })
-                .collect();
-            let max_delay = placements.iter().map(|p| p.2).max().unwrap_or(0);
-            let bound = (k as u64 - 1) * (alg.time_bound() + max_delay);
-            let fleet = gathering_fleet(&alg, &placements).expect("valid placements");
-            let out = run_gathering(&g, fleet, 4 * bound).expect("engine ok");
-            assert!(out.gathered_all(), "gathering must complete (k = {k})");
-            let merges = out
-                .cluster_history
-                .windows(2)
-                .filter(|w| w[1] < w[0])
-                .count()
-                + 1; // the initial k clusters count as the baseline
-            Row {
-                n,
-                k,
-                rounds: out.rounds_executed,
-                bound,
-                cost: out.cost(),
-                merges,
-            }
-        })
-        .collect()
+    runner.map(ks.to_vec(), |_, k| {
+        assert!(k >= 2 && k <= n && (k as u64) <= l, "fleet must fit");
+        let placements: Vec<(u64, NodeId, u64)> = (0..k)
+            .map(|i| {
+                let label = 1 + (i as u64 * (l - 1)) / (k as u64 - 1).max(1);
+                let start = NodeId::new(i * n / k);
+                let delay = (7 * i as u64) % 13;
+                (label, start, delay)
+            })
+            .collect();
+        let max_delay = placements.iter().map(|p| p.2).max().unwrap_or(0);
+        let bound = (k as u64 - 1) * (alg.time_bound() + max_delay);
+        let fleet = gathering_fleet(&alg, &placements).expect("valid placements");
+        let out = run_gathering(&g, fleet, 4 * bound).expect("engine ok");
+        assert!(out.gathered_all(), "gathering must complete (k = {k})");
+        let merges = out
+            .cluster_history
+            .windows(2)
+            .filter(|w| w[1] < w[0])
+            .count()
+            + 1; // the initial k clusters count as the baseline
+        Row {
+            n,
+            k,
+            rounds: out.rounds_executed,
+            bound,
+            cost: out.cost(),
+            merges,
+        }
+    })
 }
 
 /// Renders the table.
 #[must_use]
 pub fn render(rows: &[Row]) -> String {
-    let header = ["n", "k", "rounds", "bound (k-1)(T+d)", "cost", "merge events"];
+    let header = [
+        "n",
+        "k",
+        "rounds",
+        "bound (k-1)(T+d)",
+        "cost",
+        "merge events",
+    ];
     let body = rows
         .iter()
         .map(|r| {
@@ -104,7 +110,7 @@ mod tests {
 
     #[test]
     fn x9_gathering_scales_linearly_in_k() {
-        let rows = run(12, 32, &[2, 3, 5]);
+        let rows = run(12, 32, &[2, 3, 5], &Runner::with_threads(3));
         for r in &rows {
             assert!(r.rounds <= r.bound, "k={}: {} > {}", r.k, r.rounds, r.bound);
         }

@@ -199,12 +199,8 @@ mod tests {
         pb: usize,
         delay_b: u64,
     ) -> rendezvous_sim::Outcome {
-        let a = alg
-            .agent(Label::new(la).unwrap(), NodeId::new(pa))
-            .unwrap();
-        let b = alg
-            .agent(Label::new(lb).unwrap(), NodeId::new(pb))
-            .unwrap();
+        let a = alg.agent(Label::new(la).unwrap(), NodeId::new(pa)).unwrap();
+        let b = alg.agent(Label::new(lb).unwrap(), NodeId::new(pb)).unwrap();
         Simulation::new(alg.graph())
             .agent(Box::new(a), AgentSpec::immediate(NodeId::new(pa)))
             .agent(Box::new(b), AgentSpec::delayed(NodeId::new(pb), delay_b))

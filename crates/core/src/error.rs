@@ -41,7 +41,10 @@ impl fmt::Display for CoreError {
                 write!(f, "label {label} outside the label space {{1, …, {space}}}")
             }
             CoreError::InvalidWeight { weight, space } => {
-                write!(f, "relabeling weight {weight} invalid for label space size {space}")
+                write!(
+                    f,
+                    "relabeling weight {weight} invalid for label space size {space}"
+                )
             }
             CoreError::NoLevels => write!(f, "iterated algorithm needs at least one level"),
         }

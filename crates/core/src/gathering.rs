@@ -208,7 +208,11 @@ mod tests {
             &[(1, 0, 5), (4, 2, 0), (9, 5, 17), (12, 8, 3), (16, 10, 0)],
             400_000,
         );
-        assert!(out.gathered_all(), "clusters {:?}", out.cluster_history.last());
+        assert!(
+            out.gathered_all(),
+            "clusters {:?}",
+            out.cluster_history.last()
+        );
     }
 
     #[test]
@@ -234,7 +238,11 @@ mod tests {
         let ex = Arc::new(DfsMapExplorer::new(g.clone()));
         let alg: Arc<dyn RendezvousAlgorithm> =
             Arc::new(Cheap::new(g, ex, LabelSpace::new(8).unwrap()));
-        let out = gather(&alg, &[(1, 0, 0), (3, 7, 2), (6, 14, 0), (8, 3, 9)], 500_000);
+        let out = gather(
+            &alg,
+            &[(1, 0, 0), (3, 7, 2), (6, 14, 0), (8, 3, 9)],
+            500_000,
+        );
         assert!(out.gathered_all());
     }
 

@@ -45,9 +45,9 @@ pub fn binomial(n: u64, k: u64) -> u128 {
 #[must_use]
 pub fn smallest_t(w: u64, l: u64) -> u64 {
     assert!(w > 0 && l > 0, "w and l must be positive");
-    (w..).find(|&t| binomial(t, w) >= u128::from(l)).expect(
-        "binomial(t, w) is unbounded in t for fixed w >= 1",
-    )
+    (w..)
+        .find(|&t| binomial(t, w) >= u128::from(l))
+        .expect("binomial(t, w) is unbounded in t for fixed w >= 1")
 }
 
 /// The characteristic bit string (length `t`, weight `w`) of the

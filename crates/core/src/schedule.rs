@@ -306,7 +306,10 @@ mod tests {
         let s = Schedule::new(vec![Phase::Wait(0), Phase::Explore(e)]);
         let mut b = ScheduleBehavior::new(g.clone(), s, NodeId::new(1));
         let trace = run_solo(&g, &mut b, NodeId::new(1), 3).unwrap();
-        assert!(trace.actions[0].is_move(), "first round must already explore");
+        assert!(
+            trace.actions[0].is_move(),
+            "first round must already explore"
+        );
         assert_eq!(trace.cost(), 2);
     }
 

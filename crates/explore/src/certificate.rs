@@ -198,7 +198,7 @@ mod tests {
         for g in [
             generators::oriented_ring(7).unwrap(),
             generators::torus(3, 4).unwrap(),
-            generators::complete(5).unwrap(), // 4-regular
+            generators::complete(5).unwrap(),  // 4-regular
             generators::hypercube(4).unwrap(), // 4-regular
         ] {
             let g = Arc::new(g);

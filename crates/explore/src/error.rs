@@ -44,7 +44,10 @@ impl fmt::Display for ExploreError {
                 write!(f, "{explorer}: graph unsuitable: {reason}")
             }
             ExploreError::CoverageFailure { explorer, start } => {
-                write!(f, "{explorer}: procedure fails to cover the graph from {start}")
+                write!(
+                    f,
+                    "{explorer}: procedure fails to cover the graph from {start}"
+                )
             }
             ExploreError::SearchExhausted { explorer, budget } => {
                 write!(f, "{explorer}: no covering sequence found within {budget}")

@@ -134,10 +134,7 @@ pub fn coverage_time(
 ///
 /// Returns `Err(start)` for the first start node from which coverage was not
 /// achieved within `explorer.bound()` rounds.
-pub fn verify_explorer(
-    graph: &PortLabeledGraph,
-    explorer: &dyn Explorer,
-) -> Result<usize, NodeId> {
+pub fn verify_explorer(graph: &PortLabeledGraph, explorer: &dyn Explorer) -> Result<usize, NodeId> {
     let mut worst = 0;
     for start in graph.nodes() {
         let mut run = explorer.begin(start);

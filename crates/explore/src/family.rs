@@ -88,7 +88,10 @@ mod tests {
         for n in 2..100usize {
             let lvl = fam.level_for(n);
             assert!((1usize << lvl) >= n, "level {lvl} too small for {n}");
-            assert!(lvl == 1 || (1usize << (lvl - 1)) < n, "level {lvl} not minimal for {n}");
+            assert!(
+                lvl == 1 || (1usize << (lvl - 1)) < n,
+                "level {lvl} not minimal for {n}"
+            );
         }
     }
 

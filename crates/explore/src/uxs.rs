@@ -15,8 +15,8 @@
 //! bound `E`, so this preserves every code path the paper exercises.
 
 use crate::{ExploreError, ExploreRun, Explorer};
-use rendezvous_graph::{NodeId, Port, PortLabeledGraph};
 use rand::Rng;
+use rendezvous_graph::{NodeId, Port, PortLabeledGraph};
 use std::sync::Arc;
 
 /// A sequence of port increments driving a UXS walk on `d`-regular graphs.

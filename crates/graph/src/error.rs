@@ -81,7 +81,10 @@ impl fmt::Display for GraphError {
                 write!(f, "port {port} at {node} is already assigned")
             }
             GraphError::NonContiguousPorts { node, missing } => {
-                write!(f, "ports at {node} are not contiguous: {missing} is missing")
+                write!(
+                    f,
+                    "ports at {node} are not contiguous: {missing} is missing"
+                )
             }
             GraphError::NotConnected => write!(f, "operation requires a connected graph"),
             GraphError::Empty => write!(f, "graph must have at least one node"),

@@ -144,7 +144,9 @@ pub fn complete(n: usize) -> Result<PortLabeledGraph, GraphError> {
 /// [`GraphError::InvalidParameter`] if `d == 0` or `d > 20`.
 pub fn hypercube(d: usize) -> Result<PortLabeledGraph, GraphError> {
     if d == 0 || d > 20 {
-        return Err(invalid(format!("hypercube dimension must be 1..=20, got {d}")));
+        return Err(invalid(format!(
+            "hypercube dimension must be 1..=20, got {d}"
+        )));
     }
     let n = 1usize << d;
     let mut b = GraphBuilder::new(n);
@@ -171,7 +173,9 @@ pub fn hypercube(d: usize) -> Result<PortLabeledGraph, GraphError> {
 /// [`GraphError::InvalidParameter`] for degenerate dimensions.
 pub fn grid(w: usize, h: usize) -> Result<PortLabeledGraph, GraphError> {
     if w == 0 || h == 0 || w * h < 2 {
-        return Err(invalid(format!("grid needs w,h >= 1 and w*h >= 2, got {w}x{h}")));
+        return Err(invalid(format!(
+            "grid needs w,h >= 1 and w*h >= 2, got {w}x{h}"
+        )));
     }
     let id = |x: usize, y: usize| NodeId::new(y * w + x);
     let mut b = GraphBuilder::new(w * h);
@@ -218,7 +222,9 @@ pub fn torus(w: usize, h: usize) -> Result<PortLabeledGraph, GraphError> {
 /// [`GraphError::InvalidParameter`] if `depth > 20`.
 pub fn balanced_binary_tree(depth: usize) -> Result<PortLabeledGraph, GraphError> {
     if depth > 20 {
-        return Err(invalid(format!("binary tree depth must be <= 20, got {depth}")));
+        return Err(invalid(format!(
+            "binary tree depth must be <= 20, got {depth}"
+        )));
     }
     let n = (1usize << (depth + 1)) - 1;
     let mut b = GraphBuilder::new(n);
@@ -294,7 +300,9 @@ pub fn erdos_renyi_connected<R: Rng + ?Sized>(
         return Err(invalid("erdos_renyi_connected needs n >= 1"));
     }
     if !(0.0..=1.0).contains(&p) {
-        return Err(invalid(format!("edge probability must be in [0,1], got {p}")));
+        return Err(invalid(format!(
+            "edge probability must be in [0,1], got {p}"
+        )));
     }
     let mut b = GraphBuilder::new(n);
     // random spanning tree: random permutation, attach each node to a
@@ -681,7 +689,10 @@ mod tests {
     fn permute_ports_usually_changes_the_labelling() {
         let g = complete(6).unwrap();
         let h = permute_ports(&g, &mut rng()).unwrap();
-        assert_ne!(g, h, "a K6 relabelling is different with overwhelming probability");
+        assert_ne!(
+            g, h,
+            "a K6 relabelling is different with overwhelming probability"
+        );
     }
 
     #[test]

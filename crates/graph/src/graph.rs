@@ -179,13 +179,11 @@ impl PortLabeledGraph {
                 node,
                 node_count: self.adj.len(),
             })?;
-        let half = ports
-            .get(port.index())
-            .ok_or(GraphError::PortOutOfRange {
-                node,
-                port,
-                degree: ports.len(),
-            })?;
+        let half = ports.get(port.index()).ok_or(GraphError::PortOutOfRange {
+            node,
+            port,
+            degree: ports.len(),
+        })?;
         Ok(Traversal {
             target: half.target,
             entry_port: half.entry,

@@ -20,10 +20,11 @@ use crate::LowerBoundError;
 ///
 /// [`LowerBoundError::NotAnOrientedRing`] otherwise.
 pub fn oriented_ring_size(graph: &PortLabeledGraph) -> Result<usize, LowerBoundError> {
-    rendezvous_explore::OrientedRingExplorer::new(std::sync::Arc::new(graph.clone()))
-        .map_err(|e| LowerBoundError::NotAnOrientedRing {
+    rendezvous_explore::OrientedRingExplorer::new(std::sync::Arc::new(graph.clone())).map_err(
+        |e| LowerBoundError::NotAnOrientedRing {
             reason: e.to_string(),
-        })?;
+        },
+    )?;
     Ok(graph.node_count())
 }
 

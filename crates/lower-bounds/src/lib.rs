@@ -46,9 +46,7 @@ mod trim;
 pub use behavior_vector::{behavior_vector, oriented_ring_size, BehaviorVector};
 pub use eager::{eager_chain_audit, EagerChainReport};
 pub use error::LowerBoundError;
-pub use progress::{
-    aggregate_vector, define_progress, progress_audit, surplus, ProgressReport,
-};
+pub use progress::{aggregate_vector, define_progress, progress_audit, surplus, ProgressReport};
 pub use segments::{disjoint_offset, Segments};
 pub use tournament::{hamiltonian_path, is_hamiltonian_path};
 pub use trim::{trim, TrimmedAlgorithm};

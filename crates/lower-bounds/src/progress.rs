@@ -211,12 +211,8 @@ pub fn progress_audit(
         // Fact 3.17: k pairs of non-zero entries force k * (n/6) cost in
         // the solo execution over the analyzed window.
         let k = (nz / 2) as u64;
-        let solo_cost = crate::behavior_vector(
-            algorithm,
-            label,
-            (m_blocks * block_len) as u64,
-        )?
-        .weight();
+        let solo_cost =
+            crate::behavior_vector(algorithm, label, (m_blocks * block_len) as u64)?.weight();
         if solo_cost < k * (block_len as u64) {
             witnesses_hold = false;
         }

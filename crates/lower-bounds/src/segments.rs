@@ -152,8 +152,8 @@ mod tests {
         // Two short scripted walks whose combined span is < E: placing the
         // second agent at the paper's offset keeps the segments disjoint,
         // so an engine run over the same horizon must not meet.
-        use rendezvous_sim::{Action, ScriptedAgent};
         use rendezvous_graph::Port;
+        use rendezvous_sim::{Action, ScriptedAgent};
         let n = 12;
         let g = generators::oriented_ring(n).unwrap();
         // agent A: 3 clockwise; agent B: 2 counter-clockwise.

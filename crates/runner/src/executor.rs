@@ -1,0 +1,138 @@
+//! How a [`Scenario`] becomes an execution: pluggable executors.
+
+use crate::{Scenario, ScenarioOutcome};
+use rendezvous_core::{CoreError, Label, RendezvousAlgorithm};
+use rendezvous_sim::{AgentBehavior, AgentSpec, MeetingCondition, SimError, Simulation};
+use std::fmt;
+
+/// An executor error: configuration or simulation failure. Both indicate a
+/// harness bug (the adversary only enumerates valid configurations), so the
+/// sweep fails fast instead of folding poisoned values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunnerError(String);
+
+impl RunnerError {
+    /// Wraps any error message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        RunnerError(msg.into())
+    }
+}
+
+impl fmt::Display for RunnerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario execution failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for RunnerError {}
+
+impl From<SimError> for RunnerError {
+    fn from(e: SimError) -> Self {
+        RunnerError(e.to_string())
+    }
+}
+
+impl From<CoreError> for RunnerError {
+    fn from(e: CoreError) -> Self {
+        RunnerError(e.to_string())
+    }
+}
+
+/// Turns one scenario into one measured outcome. Implementations must be
+/// [`Sync`]: the [`Runner`](crate::Runner) shares them across threads.
+pub trait Executor: Sync {
+    /// Executes `scenario` and reports what happened.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration or simulation error, which aborts the sweep.
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError>;
+}
+
+/// Executes scenarios against a [`RendezvousAlgorithm`]: each agent runs
+/// the schedule the algorithm compiles for its label.
+pub struct AlgorithmExecutor<'a> {
+    algorithm: &'a dyn RendezvousAlgorithm,
+}
+
+impl<'a> AlgorithmExecutor<'a> {
+    /// Wraps an algorithm.
+    #[must_use]
+    pub fn new(algorithm: &'a dyn RendezvousAlgorithm) -> Self {
+        AlgorithmExecutor { algorithm }
+    }
+}
+
+impl Executor for AlgorithmExecutor<'_> {
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError> {
+        let label = |v: u64| {
+            Label::new(v).ok_or_else(|| RunnerError::new(format!("label {v} is not positive")))
+        };
+        let a = self
+            .algorithm
+            .agent(label(scenario.first_label)?, scenario.start_a)?;
+        let b = self
+            .algorithm
+            .agent(label(scenario.second_label)?, scenario.start_b)?;
+        let outcome = Simulation::new(self.algorithm.graph())
+            .agent(Box::new(a), AgentSpec::immediate(scenario.start_a))
+            .agent(
+                Box::new(b),
+                AgentSpec::delayed(scenario.start_b, scenario.delay),
+            )
+            .max_rounds(scenario.horizon)
+            .meeting_condition(MeetingCondition::FirstPair)
+            .run()?;
+        Ok(ScenarioOutcome {
+            scenario: *scenario,
+            time: outcome.time(),
+            cost: outcome.cost(),
+            crossings: outcome.crossings(),
+        })
+    }
+}
+
+/// The two behaviors of one execution, built per scenario so that
+/// position-aware behaviors can be constructed correctly.
+pub type BehaviorPair<'a> = (Box<dyn AgentBehavior + 'a>, Box<dyn AgentBehavior + 'a>);
+
+/// Executes scenarios with arbitrary behaviors from a factory — the
+/// escape hatch for scripted agents, baselines, and tests.
+pub struct FactoryExecutor<'a, F>
+where
+    F: Fn(&Scenario) -> BehaviorPair<'a> + Sync,
+{
+    graph: &'a rendezvous_graph::PortLabeledGraph,
+    factory: F,
+}
+
+impl<'a, F> FactoryExecutor<'a, F>
+where
+    F: Fn(&Scenario) -> BehaviorPair<'a> + Sync,
+{
+    /// Wraps a behavior factory operating on `graph`.
+    #[must_use]
+    pub fn new(graph: &'a rendezvous_graph::PortLabeledGraph, factory: F) -> Self {
+        FactoryExecutor { graph, factory }
+    }
+}
+
+impl<'a, F> Executor for FactoryExecutor<'a, F>
+where
+    F: Fn(&Scenario) -> BehaviorPair<'a> + Sync,
+{
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError> {
+        let (a, b) = (self.factory)(scenario);
+        let outcome = Simulation::new(self.graph)
+            .agent(a, AgentSpec::immediate(scenario.start_a))
+            .agent(b, AgentSpec::delayed(scenario.start_b, scenario.delay))
+            .max_rounds(scenario.horizon)
+            .run()?;
+        Ok(ScenarioOutcome {
+            scenario: *scenario,
+            time: outcome.time(),
+            cost: outcome.cost(),
+            crossings: outcome.crossings(),
+        })
+    }
+}

@@ -1,0 +1,187 @@
+//! Declarative enumeration of adversarial sweeps.
+
+use crate::Scenario;
+use rendezvous_graph::{NodeId, PortLabeledGraph};
+
+/// Builder for an adversarial configuration sweep: ordered label pairs ×
+/// ordered distinct start pairs × wake-up delays, each combination becoming
+/// one [`Scenario`].
+///
+/// For spaces too large to exhaust, [`Grid::sample_cap`] keeps a
+/// deterministic evenly-strided subsample — the same cap always selects
+/// the same scenarios, so capped sweeps stay reproducible.
+#[derive(Debug, Clone)]
+pub struct Grid {
+    horizon: u64,
+    /// Ordered (first, second) label pairs.
+    label_pairs: Vec<(u64, u64)>,
+    /// Ordered (start_a, start_b) pairs, `a != b`.
+    start_pairs: Vec<(NodeId, NodeId)>,
+    delays: Vec<u64>,
+    cap: Option<usize>,
+}
+
+impl Grid {
+    /// Creates an empty grid whose scenarios get round budget `horizon`.
+    #[must_use]
+    pub fn new(horizon: u64) -> Self {
+        Grid {
+            horizon,
+            label_pairs: Vec::new(),
+            start_pairs: Vec::new(),
+            delays: vec![0],
+            cap: None,
+        }
+    }
+
+    /// Adds ordered label pairs exactly as given (first agent gets `.0`).
+    #[must_use]
+    pub fn label_pairs_ordered(mut self, pairs: &[(u64, u64)]) -> Self {
+        self.label_pairs.extend_from_slice(pairs);
+        self
+    }
+
+    /// Adds each unordered label pair in both role orders — the adversary
+    /// also chooses *which* agent is woken first.
+    #[must_use]
+    pub fn label_pairs_both_orders(mut self, pairs: &[(u64, u64)]) -> Self {
+        for &(a, b) in pairs {
+            self.label_pairs.push((a, b));
+            self.label_pairs.push((b, a));
+        }
+        self
+    }
+
+    /// Sweeps all ordered pairs of distinct start nodes of `graph`.
+    #[must_use]
+    pub fn all_start_pairs(mut self, graph: &PortLabeledGraph) -> Self {
+        let n = graph.node_count();
+        self.start_pairs.reserve(n * n.saturating_sub(1));
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    self.start_pairs.push((NodeId::new(a), NodeId::new(b)));
+                }
+            }
+        }
+        self
+    }
+
+    /// Sweeps exactly the given ordered start pairs.
+    #[must_use]
+    pub fn start_pairs(mut self, pairs: &[(NodeId, NodeId)]) -> Self {
+        self.start_pairs.extend_from_slice(pairs);
+        self
+    }
+
+    /// Sets the wake-up delays applied to the second agent (default `[0]`).
+    #[must_use]
+    pub fn delays(mut self, delays: &[u64]) -> Self {
+        self.delays = delays.to_vec();
+        self
+    }
+
+    /// Caps the sweep at `max` scenarios via deterministic even striding.
+    #[must_use]
+    pub fn sample_cap(mut self, max: usize) -> Self {
+        assert!(max > 0, "sample cap must be positive");
+        self.cap = Some(max);
+        self
+    }
+
+    /// Number of scenarios before any sampling cap.
+    #[must_use]
+    pub fn full_size(&self) -> usize {
+        self.label_pairs.len() * self.start_pairs.len() * self.delays.len()
+    }
+
+    /// Enumerates the scenarios of this grid, applying the sampling cap.
+    ///
+    /// Enumeration order is label pair (outer) → start pair → delay
+    /// (inner); the order is part of the contract, since
+    /// [`SweepStats`](crate::SweepStats) tie-breaks worst-case witnesses
+    /// by scenario index.
+    #[must_use]
+    pub fn scenarios(&self) -> Vec<Scenario> {
+        let total = self.full_size();
+        let nth = |index: usize| -> Scenario {
+            let delay_i = index % self.delays.len();
+            let rest = index / self.delays.len();
+            let start_i = rest % self.start_pairs.len();
+            let label_i = rest / self.start_pairs.len();
+            let (first_label, second_label) = self.label_pairs[label_i];
+            let (start_a, start_b) = self.start_pairs[start_i];
+            Scenario {
+                first_label,
+                second_label,
+                start_a,
+                start_b,
+                delay: self.delays[delay_i],
+                horizon: self.horizon,
+            }
+        };
+        match self.cap {
+            Some(cap) if total > cap => {
+                // Even stride over the flattened index space; always
+                // includes index 0 and never repeats an index.
+                (0..cap).map(|i| nth(i * total / cap)).collect()
+            }
+            _ => (0..total).map(nth).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendezvous_graph::generators;
+
+    fn small_grid() -> Grid {
+        let g = generators::oriented_ring(4).unwrap();
+        Grid::new(100)
+            .label_pairs_both_orders(&[(1, 2)])
+            .delays(&[0, 3])
+            .all_start_pairs(&g)
+    }
+
+    #[test]
+    fn full_enumeration_covers_the_product_space() {
+        let grid = small_grid();
+        let scenarios = grid.scenarios();
+        // 2 label orders × 12 ordered start pairs × 2 delays.
+        assert_eq!(scenarios.len(), 48);
+        assert_eq!(grid.full_size(), 48);
+        // All distinct.
+        let mut seen = std::collections::HashSet::new();
+        for s in &scenarios {
+            assert!(s.start_a != s.start_b);
+            assert_eq!(s.horizon, 100);
+            assert!(seen.insert(*s));
+        }
+        // Both label orders present.
+        assert!(scenarios.iter().any(|s| s.first_label == 1));
+        assert!(scenarios.iter().any(|s| s.first_label == 2));
+    }
+
+    #[test]
+    fn sampling_cap_is_deterministic_and_within_space() {
+        let grid = small_grid().sample_cap(10);
+        let a = grid.scenarios();
+        let b = grid.scenarios();
+        assert_eq!(a.len(), 10);
+        assert_eq!(a, b, "capped enumeration must be reproducible");
+        let full: std::collections::HashSet<_> = small_grid().scenarios().into_iter().collect();
+        for s in &a {
+            assert!(full.contains(s), "sampled scenario outside the space");
+        }
+        // No duplicates in the sample.
+        let dedup: std::collections::HashSet<_> = a.iter().copied().collect();
+        assert_eq!(dedup.len(), a.len());
+    }
+
+    #[test]
+    fn cap_larger_than_space_is_a_no_op() {
+        let grid = small_grid().sample_cap(1_000);
+        assert_eq!(grid.scenarios().len(), 48);
+    }
+}

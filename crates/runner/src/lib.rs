@@ -1,0 +1,58 @@
+//! The unified parallel scenario-sweep engine of the rendezvous workspace.
+//!
+//! The paper's claims (Miller & Pelc, PODC 2014) are all *worst-case over
+//! an adversary*: any label pair from `{1, …, L}`, any distinct start
+//! nodes, any wake-up delays. Reproducing a claim therefore means sweeping
+//! an adversarial configuration space and folding every execution into
+//! aggregate statistics. Before this crate, each experiment hand-rolled
+//! that sweep; now there is exactly one engine:
+//!
+//! * [`Scenario`] — one fully-specified two-agent execution
+//!   (labels, starts, wake-up delay, round budget);
+//! * [`Grid`] — declarative enumeration of an adversarial sweep
+//!   (label pairs × ordered start pairs × delays), with a deterministic
+//!   sampling cap for spaces too large to exhaust;
+//! * [`Runner`] — executes scenario batches, sequentially or across
+//!   threads, and folds [`ScenarioOutcome`]s into [`SweepStats`]. The fold
+//!   itself is always sequential in scenario order, so parallel and
+//!   sequential runs produce **identical** aggregates by construction;
+//! * [`SweepStats`] — max/mean time and cost, meeting failures, crossing
+//!   totals, and bound-violation counts against a [`Bounds`] pair.
+//!
+//! # Examples
+//!
+//! ```
+//! use rendezvous_core::{Cheap, LabelSpace};
+//! use rendezvous_explore::OrientedRingExplorer;
+//! use rendezvous_graph::generators;
+//! use rendezvous_runner::{AlgorithmExecutor, Grid, Runner};
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(generators::oriented_ring(6).unwrap());
+//! let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+//! let alg = Cheap::new(g.clone(), ex, LabelSpace::new(4).unwrap());
+//! let grid = Grid::new(4 * rendezvous_core::RendezvousAlgorithm::time_bound(&alg))
+//!     .label_pairs_both_orders(&[(1, 4)])
+//!     .delays(&[0, 5])
+//!     .all_start_pairs(&g);
+//! let stats = Runner::sequential()
+//!     .sweep(&AlgorithmExecutor::new(&alg), &grid.scenarios())
+//!     .unwrap();
+//! assert_eq!(stats.failures, 0);
+//! assert!(stats.max_time > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod grid;
+mod runner;
+mod scenario;
+mod stats;
+
+pub use executor::{AlgorithmExecutor, Executor, FactoryExecutor, RunnerError};
+pub use grid::Grid;
+pub use runner::Runner;
+pub use scenario::{Scenario, ScenarioOutcome};
+pub use stats::{fold_outcomes, Bounds, SweepStats, WorstEntry};

@@ -1,0 +1,174 @@
+//! The parallel batch executor.
+
+use crate::{Bounds, Executor, RunnerError, Scenario, SweepStats};
+use std::num::NonZeroUsize;
+
+/// Executes scenario batches (and generic per-item jobs) sequentially or
+/// across OS threads.
+///
+/// Parallelism is a pure throughput knob: results are collected in input
+/// order and folded sequentially, so a parallel run produces **the same**
+/// [`SweepStats`] as a sequential run of the same batch — asserted by the
+/// determinism property test in `tests/` and by the
+/// `--parallel`/`--sequential` toggle of the `experiments` binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Runner {
+    threads: usize,
+}
+
+impl Runner {
+    /// A runner using `threads` worker threads (1 = sequential).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Runner {
+            threads: threads.max(1),
+        }
+    }
+
+    /// A strictly sequential runner.
+    #[must_use]
+    pub fn sequential() -> Self {
+        Runner::with_threads(1)
+    }
+
+    /// A runner using all available hardware parallelism.
+    #[must_use]
+    pub fn parallel() -> Self {
+        Runner::with_threads(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(4),
+        )
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Returns `true` if this runner actually runs work concurrently.
+    #[must_use]
+    pub fn is_parallel(&self) -> bool {
+        self.threads > 1
+    }
+
+    /// Order-preserving map over `items`: applies `job` to every item
+    /// (receiving the item's index) and returns the results in input
+    /// order, regardless of which thread computed what.
+    pub fn map<T, R, F>(&self, items: Vec<T>, job: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| job(i, item))
+                .collect();
+        }
+        let len = items.len();
+        let chunk_len = len.div_ceil(self.threads);
+        // Contiguous chunks keep (chunk id, offset) → global index trivial
+        // and let each worker write into its own slice of the output.
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut iter = items.into_iter();
+        loop {
+            let chunk: Vec<T> = iter.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let mut results: Vec<Option<R>> = Vec::with_capacity(len);
+        results.resize_with(len, || None);
+        let job = &job;
+        std::thread::scope(|scope| {
+            let mut remaining: &mut [Option<R>] = &mut results;
+            for (chunk_id, chunk) in chunks.into_iter().enumerate() {
+                let (slot, rest) = remaining.split_at_mut(chunk.len());
+                remaining = rest;
+                let base = chunk_id * chunk_len;
+                scope.spawn(move || {
+                    for (offset, item) in chunk.into_iter().enumerate() {
+                        slot[offset] = Some(job(base + offset, item));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot written by exactly one worker"))
+            .collect()
+    }
+
+    /// Executes every scenario through `executor` and folds the outcomes
+    /// (in scenario order) into [`SweepStats`] checked against `bounds`.
+    ///
+    /// # Errors
+    ///
+    /// The first [`RunnerError`] by scenario index, if any execution
+    /// failed — deterministic even under parallelism.
+    pub fn sweep_bounded(
+        &self,
+        executor: &dyn Executor,
+        scenarios: &[Scenario],
+        bounds: Option<Bounds>,
+    ) -> Result<SweepStats, RunnerError> {
+        // Map over indices into the borrowed slice: scenarios are Copy but
+        // large grids would still pay an avoidable clone of the whole batch.
+        let outcomes = self.map((0..scenarios.len()).collect(), |_, i| {
+            executor.run(&scenarios[i])
+        });
+        let mut stats = SweepStats::default();
+        for (index, outcome) in outcomes.into_iter().enumerate() {
+            stats.absorb(index, &outcome?, bounds);
+        }
+        Ok(stats)
+    }
+
+    /// [`Runner::sweep_bounded`] without bound checking.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::sweep_bounded`].
+    pub fn sweep(
+        &self,
+        executor: &dyn Executor,
+        scenarios: &[Scenario],
+    ) -> Result<SweepStats, RunnerError> {
+        self.sweep_bounded(executor, scenarios, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order_under_parallelism() {
+        let items: Vec<usize> = (0..997).collect();
+        let sequential = Runner::sequential().map(items.clone(), |i, x| i * 31 + x);
+        let parallel = Runner::with_threads(8).map(items, |i, x| i * 31 + x);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn map_handles_small_and_empty_batches() {
+        let empty: Vec<u64> = Vec::new();
+        assert!(Runner::with_threads(8).map(empty, |_, x| x).is_empty());
+        assert_eq!(
+            Runner::with_threads(8).map(vec![7], |i, x| (i, x)),
+            vec![(0, 7)]
+        );
+    }
+
+    #[test]
+    fn thread_counts_are_clamped() {
+        assert_eq!(Runner::with_threads(0).threads(), 1);
+        assert!(!Runner::sequential().is_parallel());
+        assert!(Runner::parallel().threads() >= 1);
+    }
+}

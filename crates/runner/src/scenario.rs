@@ -1,0 +1,49 @@
+//! One fully-specified adversarial configuration and its measured result.
+
+use rendezvous_graph::NodeId;
+
+/// A complete two-agent rendezvous configuration: everything the adversary
+/// chooses, plus the round budget the harness allows.
+///
+/// The first agent always wakes in round 1; the adversary's wake-up power
+/// is expressed by [`Scenario::delay`] on the second agent *combined with*
+/// enumerating both label role orders in the [`Grid`](crate::Grid) — that
+/// pair of choices realizes "either agent may be delayed arbitrarily"
+/// exactly, as in §1.2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Scenario {
+    /// Label of the first (undelayed) agent.
+    pub first_label: u64,
+    /// Label of the second (possibly delayed) agent.
+    pub second_label: u64,
+    /// Start node of the first agent.
+    pub start_a: NodeId,
+    /// Start node of the second agent (distinct from `start_a`).
+    pub start_b: NodeId,
+    /// Rounds the adversary keeps the second agent asleep.
+    pub delay: u64,
+    /// Maximum number of rounds to simulate.
+    pub horizon: u64,
+}
+
+/// The measured result of executing one [`Scenario`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// The configuration that produced this outcome.
+    pub scenario: Scenario,
+    /// Rounds from the earlier agent's start to the meeting (paper time);
+    /// `None` if the agents did not meet within the horizon.
+    pub time: Option<u64>,
+    /// Total edge traversals until the meeting (or horizon).
+    pub cost: u64,
+    /// Edge crossings observed (never meetings, by the model).
+    pub crossings: u64,
+}
+
+impl ScenarioOutcome {
+    /// Returns `true` if the agents met within the horizon.
+    #[must_use]
+    pub fn met(&self) -> bool {
+        self.time.is_some()
+    }
+}

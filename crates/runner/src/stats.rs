@@ -1,0 +1,221 @@
+//! Order-independent aggregation of scenario outcomes.
+
+use crate::{Scenario, ScenarioOutcome};
+
+/// The paper bounds a sweep is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Worst-case time bound (rounds from the earlier agent's start).
+    pub time: u64,
+    /// Worst-case cost bound (total edge traversals).
+    pub cost: u64,
+}
+
+/// A worst-case witness: which scenario achieved an extreme value.
+///
+/// Ties are broken by the smallest scenario index, which makes the witness
+/// independent of execution order (and hence of parallelism).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorstEntry {
+    /// Index of the scenario in the swept batch.
+    pub index: usize,
+    /// The scenario itself.
+    pub scenario: Scenario,
+    /// Its measured time. Witnesses are only recorded for meeting
+    /// scenarios; non-meeting executions count into
+    /// [`SweepStats::failures`] instead.
+    pub time: u64,
+    /// Its measured cost.
+    pub cost: u64,
+}
+
+/// Aggregate statistics of one sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SweepStats {
+    /// Scenarios executed.
+    pub executed: usize,
+    /// Scenarios in which the agents met within the horizon.
+    pub meetings: usize,
+    /// Scenarios in which they did not — for the paper's algorithms under
+    /// a sufficient horizon this must be 0, and callers assert so.
+    pub failures: usize,
+    /// Maximum time over meeting scenarios.
+    pub max_time: u64,
+    /// Maximum cost over meeting scenarios.
+    pub max_cost: u64,
+    /// Sum of times over meeting scenarios (for means).
+    pub total_time: u128,
+    /// Sum of costs over meeting scenarios.
+    pub total_cost: u128,
+    /// Total edge crossings observed across all scenarios.
+    pub crossings: u64,
+    /// Meeting scenarios whose time exceeded [`Bounds::time`].
+    pub time_violations: usize,
+    /// Meeting scenarios whose cost exceeded [`Bounds::cost`].
+    pub cost_violations: usize,
+    /// Witness of `max_time` (lowest index on ties).
+    pub worst_time: Option<WorstEntry>,
+    /// Witness of `max_cost` (lowest index on ties).
+    pub worst_cost: Option<WorstEntry>,
+}
+
+impl SweepStats {
+    /// Mean time over meeting scenarios.
+    #[must_use]
+    pub fn mean_time(&self) -> f64 {
+        if self.meetings == 0 {
+            0.0
+        } else {
+            self.total_time as f64 / self.meetings as f64
+        }
+    }
+
+    /// Mean cost over meeting scenarios.
+    #[must_use]
+    pub fn mean_cost(&self) -> f64 {
+        if self.meetings == 0 {
+            0.0
+        } else {
+            self.total_cost as f64 / self.meetings as f64
+        }
+    }
+
+    /// Returns `true` if every meeting respected the bounds and every
+    /// scenario met.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.failures == 0 && self.time_violations == 0 && self.cost_violations == 0
+    }
+
+    /// Folds one indexed outcome into the aggregate. Folding is pure and
+    /// index-deterministic: folding the same outcomes in index order
+    /// always yields the same stats, regardless of how they were computed.
+    pub fn absorb(&mut self, index: usize, outcome: &ScenarioOutcome, bounds: Option<Bounds>) {
+        self.executed += 1;
+        self.crossings += outcome.crossings;
+        match outcome.time {
+            Some(time) => {
+                self.meetings += 1;
+                self.total_time += u128::from(time);
+                self.total_cost += u128::from(outcome.cost);
+                let entry = WorstEntry {
+                    index,
+                    scenario: outcome.scenario,
+                    time,
+                    cost: outcome.cost,
+                };
+                // Explicit lowest-index tie-break (not first-absorbed-wins)
+                // so the documented witness contract survives folds that
+                // absorb outcomes out of index order, e.g. shard merges.
+                self.max_time = self.max_time.max(time);
+                if self
+                    .worst_time
+                    .is_none_or(|w| time > w.time || (time == w.time && index < w.index))
+                {
+                    self.worst_time = Some(entry);
+                }
+                self.max_cost = self.max_cost.max(outcome.cost);
+                if self.worst_cost.is_none_or(|w| {
+                    outcome.cost > w.cost || (outcome.cost == w.cost && index < w.index)
+                }) {
+                    self.worst_cost = Some(entry);
+                }
+                if let Some(b) = bounds {
+                    if time > b.time {
+                        self.time_violations += 1;
+                    }
+                    if outcome.cost > b.cost {
+                        self.cost_violations += 1;
+                    }
+                }
+            }
+            None => self.failures += 1,
+        }
+    }
+}
+
+/// Sequentially folds outcomes (in slice order) into [`SweepStats`] — the
+/// reference fold that parallel sweeps must agree with.
+#[must_use]
+pub fn fold_outcomes(outcomes: &[ScenarioOutcome], bounds: Option<Bounds>) -> SweepStats {
+    let mut stats = SweepStats::default();
+    for (index, outcome) in outcomes.iter().enumerate() {
+        stats.absorb(index, outcome, bounds);
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rendezvous_graph::NodeId;
+
+    fn outcome(time: Option<u64>, cost: u64, crossings: u64) -> ScenarioOutcome {
+        ScenarioOutcome {
+            scenario: Scenario {
+                first_label: 1,
+                second_label: 2,
+                start_a: NodeId::new(0),
+                start_b: NodeId::new(1),
+                delay: 0,
+                horizon: 10,
+            },
+            time,
+            cost,
+            crossings,
+        }
+    }
+
+    #[test]
+    fn fold_tracks_extremes_means_and_failures() {
+        let outcomes = vec![
+            outcome(Some(4), 2, 0),
+            outcome(None, 9, 1),
+            outcome(Some(10), 1, 0),
+            outcome(Some(10), 8, 2),
+        ];
+        let bounds = Some(Bounds { time: 9, cost: 100 });
+        let stats = fold_outcomes(&outcomes, bounds);
+        assert_eq!(stats.executed, 4);
+        assert_eq!(stats.meetings, 3);
+        assert_eq!(stats.failures, 1);
+        assert_eq!(stats.max_time, 10);
+        assert_eq!(stats.max_cost, 8);
+        assert_eq!(stats.crossings, 3);
+        // First scenario reaching the max wins ties.
+        assert_eq!(stats.worst_time.unwrap().index, 2);
+        assert_eq!(stats.worst_cost.unwrap().index, 3);
+        // Two meetings exceeded the time bound of 9? Only times 10, 10.
+        assert_eq!(stats.time_violations, 2);
+        assert_eq!(stats.cost_violations, 0);
+        assert!(!stats.clean());
+        assert!((stats.mean_time() - 8.0).abs() < 1e-9);
+        assert!((stats.mean_cost() - (11.0 / 3.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tie_break_picks_lowest_index_even_when_absorbed_out_of_order() {
+        // Simulates a shard merge: the higher-index shard folds first.
+        // The witness contract (lowest index on ties) must still hold.
+        let a = outcome(Some(10), 5, 0);
+        let b = outcome(Some(10), 5, 0);
+        let mut stats = SweepStats::default();
+        stats.absorb(7, &b, None);
+        stats.absorb(2, &a, None);
+        assert_eq!(stats.worst_time.unwrap().index, 2);
+        assert_eq!(stats.worst_cost.unwrap().index, 2);
+        // In-order folding agrees.
+        let ordered = fold_outcomes(&[a, b], None);
+        assert_eq!(ordered.worst_time.unwrap().index, 0);
+        assert_eq!(stats.max_time, ordered.max_time);
+    }
+
+    #[test]
+    fn empty_fold_is_clean_zero() {
+        let stats = fold_outcomes(&[], None);
+        assert_eq!(stats.executed, 0);
+        assert!(stats.clean());
+        assert_eq!(stats.mean_time(), 0.0);
+        assert!(stats.worst_time.is_none());
+    }
+}

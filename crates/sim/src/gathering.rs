@@ -100,7 +100,10 @@ pub fn run_gathering(
     for round in 1..=max_rounds {
         rounds_executed = round;
         // Who is awake and who stands where (start-of-round snapshot).
-        let awake: Vec<bool> = agents.iter().map(|(_, _, s)| round >= s.wake_round).collect();
+        let awake: Vec<bool> = agents
+            .iter()
+            .map(|(_, _, s)| round >= s.wake_round)
+            .collect();
         let mut actions = vec![Action::Stay; k];
         for i in 0..k {
             if !awake[i] {

@@ -1,6 +1,9 @@
 //! The synchronous execution model of Miller & Pelc (PODC 2014): agents as
 //! deterministic state machines, an engine with exact meeting semantics,
-//! solo executions, and an exhaustive adversary.
+//! solo executions, and k-agent gathering. The exhaustive adversary
+//! (worst case over start positions, label orders and wake-up delays)
+//! lives in the `rendezvous-runner` crate, which sweeps scenario grids
+//! through this engine.
 //!
 //! # Model recap (§1.2 of the paper)
 //!
@@ -33,7 +36,6 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod adversary;
 mod behavior;
 mod engine;
 mod error;

@@ -51,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (tc, cc) = measure(&cheap, 8, 3, delay)?;
         let (tf, cf) = measure(&fast, 8, 3, delay)?;
         let (tn, cn) = measure(&naive, 8, 3, delay)?;
-        let warn = if tn > naive.time_bound() { "  <-- past its bound!" } else { "" };
+        let warn = if tn > naive.time_bound() {
+            "  <-- past its bound!"
+        } else {
+            ""
+        };
         println!(
             "{delay:>6} | {:>6},{:>4} | {:>6},{:>4} | {:>10},{:>4}{warn}",
             tc, cc, tf, cf, tn, cn

@@ -26,7 +26,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("algorithm      : {}", algorithm.name());
     println!("exploration E  : {}", algorithm.exploration_bound());
     println!("time bound     : {} rounds", algorithm.time_bound());
-    println!("cost bound     : {} edge traversals", algorithm.cost_bound());
+    println!(
+        "cost bound     : {} edge traversals",
+        algorithm.cost_bound()
+    );
 
     // 4. Two agents with distinct labels at distinct nodes; the second
     //    one is woken 7 rounds late by the adversary.
@@ -44,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nrendezvous at  : {}", meeting.node);
     println!("time           : {} rounds", outcome.time().expect("met"));
     println!("cost           : {} edge traversals", outcome.cost());
-    println!(
-        "per agent      : {:?} traversals",
-        outcome.per_agent_cost()
-    );
+    println!("per agent      : {:?} traversals", outcome.per_agent_cost());
     assert!(outcome.time().expect("met") <= algorithm.time_bound() + 7);
     assert!(outcome.cost() <= algorithm.cost_bound());
 

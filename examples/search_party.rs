@@ -20,11 +20,8 @@ use std::sync::Arc;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let graph = Arc::new(generators::oriented_ring(18)?);
     let explore = Arc::new(OrientedRingExplorer::new(graph.clone())?);
-    let algorithm: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(
-        graph.clone(),
-        explore,
-        LabelSpace::new(32)?,
-    ));
+    let algorithm: Arc<dyn RendezvousAlgorithm> =
+        Arc::new(Fast::new(graph.clone(), explore, LabelSpace::new(32)?));
 
     // (label, start node, wake-up delay) — scattered and staggered.
     let placements = [

@@ -12,9 +12,7 @@
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rendezvous_core::{
-    Cheap, Fast, FastWithRelabeling, Label, LabelSpace, RendezvousAlgorithm,
-};
+use rendezvous_core::{Cheap, Fast, FastWithRelabeling, Label, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{Explorer, TrialDfsExplorer};
 use rendezvous_graph::{generators, NodeId};
 use rendezvous_sim::{AgentSpec, Simulation};

@@ -10,7 +10,12 @@ use rendezvous_explore::OrientedRingExplorer;
 use rendezvous_graph::generators;
 use std::sync::Arc;
 
-fn on_ring(n: usize) -> (Arc<rendezvous_graph::PortLabeledGraph>, Arc<OrientedRingExplorer>) {
+fn on_ring(
+    n: usize,
+) -> (
+    Arc<rendezvous_graph::PortLabeledGraph>,
+    Arc<OrientedRingExplorer>,
+) {
     let g = Arc::new(generators::oriented_ring(n).unwrap());
     let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
     (g, ex)

@@ -143,13 +143,8 @@ fn cheap_simultaneous_meets_on_every_family_without_delays() {
 fn umbrella_crate_reexports_the_stack() {
     // The `rendezvous` facade exposes all five crates.
     let g = std::sync::Arc::new(rendezvous::graph::generators::oriented_ring(5).unwrap());
-    let ex = std::sync::Arc::new(
-        rendezvous::explore::OrientedRingExplorer::new(g.clone()).unwrap(),
-    );
-    let alg = rendezvous::core::Fast::new(
-        g,
-        ex,
-        rendezvous::core::LabelSpace::new(4).unwrap(),
-    );
+    let ex =
+        std::sync::Arc::new(rendezvous::explore::OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = rendezvous::core::Fast::new(g, ex, rendezvous::core::LabelSpace::new(4).unwrap());
     assert_eq!(rendezvous::core::RendezvousAlgorithm::name(&alg), "fast");
 }

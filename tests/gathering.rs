@@ -47,11 +47,8 @@ fn gathering_works_with_every_base_algorithm() {
 fn gathering_on_a_grid_with_dfs_exploration() {
     let g = Arc::new(generators::grid(4, 3).unwrap());
     let ex = Arc::new(DfsMapExplorer::new(g.clone()));
-    let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(
-        g.clone(),
-        ex,
-        LabelSpace::new(8).unwrap(),
-    ));
+    let alg: Arc<dyn RendezvousAlgorithm> =
+        Arc::new(Fast::new(g.clone(), ex, LabelSpace::new(8).unwrap()));
     let out = gather_with(alg, &[(1, 0, 0), (4, 5, 2), (8, 11, 0)], 2_000_000);
     assert!(out.gathered_all());
 }
@@ -66,11 +63,8 @@ fn merged_clusters_travel_in_lockstep() {
     // costs of agents merged early are close.
     let g = Arc::new(generators::oriented_ring(12).unwrap());
     let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
-    let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(
-        g.clone(),
-        ex,
-        LabelSpace::new(8).unwrap(),
-    ));
+    let alg: Arc<dyn RendezvousAlgorithm> =
+        Arc::new(Fast::new(g.clone(), ex, LabelSpace::new(8).unwrap()));
     let out = gather_with(alg, &[(3, 0, 0), (5, 4, 0), (8, 8, 0)], 1_000_000);
     assert!(out.gathered_all());
     assert_eq!(*out.cluster_history.last().unwrap(), 1);
@@ -80,11 +74,8 @@ fn merged_clusters_travel_in_lockstep() {
 fn two_agent_gathering_time_matches_rendezvous_bound() {
     let g = Arc::new(generators::oriented_ring(9).unwrap());
     let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
-    let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Cheap::new(
-        g.clone(),
-        ex,
-        LabelSpace::new(4).unwrap(),
-    ));
+    let alg: Arc<dyn RendezvousAlgorithm> =
+        Arc::new(Cheap::new(g.clone(), ex, LabelSpace::new(4).unwrap()));
     let bound = alg.time_bound();
     let out = gather_with(alg, &[(1, 0, 0), (4, 4, 0)], 10 * bound);
     assert!(out.gathered_all());
@@ -95,11 +86,7 @@ fn two_agent_gathering_time_matches_rendezvous_bound() {
 fn fleet_rejects_labels_outside_the_space() {
     let g = Arc::new(generators::oriented_ring(6).unwrap());
     let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
-    let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(
-        g,
-        ex,
-        LabelSpace::new(4).unwrap(),
-    ));
+    let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(g, ex, LabelSpace::new(4).unwrap()));
     let placements = vec![(1u64, NodeId::new(0), 0u64), (9, NodeId::new(2), 0)];
     assert!(gathering_fleet(&alg, &placements).is_err());
 }

@@ -5,12 +5,15 @@
 use rendezvous_core::{Cheap, CheapSimultaneous, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::OrientedRingExplorer;
 use rendezvous_graph::generators;
-use rendezvous_lower_bounds::{
-    eager_chain_audit, progress_audit, trim, LowerBoundError,
-};
+use rendezvous_lower_bounds::{eager_chain_audit, progress_audit, trim, LowerBoundError};
 use std::sync::Arc;
 
-fn ring(n: usize) -> (Arc<rendezvous_graph::PortLabeledGraph>, Arc<OrientedRingExplorer>) {
+fn ring(
+    n: usize,
+) -> (
+    Arc<rendezvous_graph::PortLabeledGraph>,
+    Arc<OrientedRingExplorer>,
+) {
     let g = Arc::new(generators::oriented_ring(n).unwrap());
     let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
     (g, ex)

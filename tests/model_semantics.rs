@@ -125,7 +125,9 @@ fn agents_cannot_rely_on_node_identities() {
     let horizon = alg.time_bound();
     let mut traces = Vec::new();
     for start in [0usize, 4] {
-        let mut agent = alg.agent(Label::new(5).unwrap(), NodeId::new(start)).unwrap();
+        let mut agent = alg
+            .agent(Label::new(5).unwrap(), NodeId::new(start))
+            .unwrap();
         let t = rendezvous_sim::run_solo(&g, &mut agent, NodeId::new(start), horizon).unwrap();
         traces.push(t.actions);
     }

@@ -47,8 +47,12 @@ fn instances() -> impl Strategy<Value = Instance> {
 }
 
 fn run_instance(alg: &dyn RendezvousAlgorithm, i: &Instance) -> (u64, u64, u64) {
-    let a = alg.agent(Label::new(i.la).unwrap(), NodeId::new(i.pa)).unwrap();
-    let b = alg.agent(Label::new(i.lb).unwrap(), NodeId::new(i.pb)).unwrap();
+    let a = alg
+        .agent(Label::new(i.la).unwrap(), NodeId::new(i.pa))
+        .unwrap();
+    let b = alg
+        .agent(Label::new(i.lb).unwrap(), NodeId::new(i.pb))
+        .unwrap();
     let out = Simulation::new(alg.graph())
         .agent(Box::new(a), AgentSpec::immediate(NodeId::new(i.pa)))
         .agent(Box::new(b), AgentSpec::delayed(NodeId::new(i.pb), i.delay))

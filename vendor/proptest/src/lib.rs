@@ -1,0 +1,414 @@
+//! Minimal vendored stand-in for `proptest`.
+//!
+//! Supports the DSL subset this workspace uses: the `proptest!` macro with
+//! `#![proptest_config(...)]` and `arg in strategy` parameters, range and
+//! tuple strategies, `Just`, `prop_map` / `prop_flat_map` / `prop_filter`,
+//! `proptest::collection::vec`, and the `prop_assert*` / `prop_assume!`
+//! macros.
+//!
+//! Unlike real proptest there is no shrinking: failures report the seeded
+//! case so it can be replayed (the seed schedule is fixed per test, so
+//! every run explores the same cases — deterministic CI by construction).
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; that is affordable for every
+        // property in this workspace and keeps coverage meaningful.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies during sampling.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    fn for_case(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// A generator of test values.
+pub trait Strategy {
+    /// The type of values produced.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds produced values into a strategy-producing `f` and samples that.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects values failing `f`, resampling (bounded) until one passes.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            f,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn sample(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.sample(rng)).sample(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.sample(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 10000 consecutive samples",
+            self.reason
+        );
+    }
+}
+
+/// Strategy producing one fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i32, i64, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Strategy producing `Vec`s with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Runs a property over `cases` seeded samples.
+///
+/// Not part of the public proptest API surface; the `proptest!` macro
+/// expands to calls of this function.
+pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: S, test: F)
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Result<(), String>,
+    S::Value: std::fmt::Debug,
+{
+    // Fixed per-test seed schedule (FNV-1a of the test name):
+    // deterministic, independent of case execution order.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    for case in 0..config.cases {
+        let seed = h ^ (u64::from(case)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::for_case(seed);
+        let value = strategy.sample(&mut rng);
+        if let Err(msg) = test(value) {
+            panic!(
+                "property `{name}` failed at case {case} (seed {seed:#x}): {msg}\n\
+                 (vendored proptest: no shrinking; replay via the seed)"
+            );
+        }
+    }
+}
+
+/// Declares property tests over strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config); $($rest)*);
+    };
+    (@cfg ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_property(
+                stringify!($name),
+                &config,
+                ($($strategy,)+),
+                |($($arg,)+)| { $body Ok(()) },
+            );
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a property, reporting the failing case without panicking
+/// through foreign frames.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond),
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`, {}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`, {}:{}): {}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r,
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `{} != {}` (both: `{:?}`, {}:{})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+/// Discards the current case when its precondition fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            // Vendored simplification: an assumed-away case passes rather
+            // than being regenerated.
+            return Ok(());
+        }
+    };
+}
+
+/// The usual glob import, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(n in 3usize..20, x in 0u64..=5, f in 0.1f64..0.9) {
+            prop_assert!((3..20).contains(&n));
+            prop_assert!(x <= 5);
+            prop_assert!((0.1..0.9).contains(&f));
+        }
+
+        #[test]
+        fn combinators_compose(v in collection::vec((0usize..10, 0usize..10), 1..30)) {
+            prop_assert!(!v.is_empty() && v.len() < 30);
+            for (a, b) in v {
+                prop_assert!(a < 10 && b < 10);
+            }
+        }
+
+        #[test]
+        fn map_filter_flat_map(x in (1usize..10).prop_flat_map(|n| (Just(n), 0..n))
+            .prop_map(|(n, k)| (n, k))
+            .prop_filter("k below n", |(n, k)| k < n))
+        {
+            prop_assert!(x.1 < x.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_panic_with_case_info() {
+        crate::run_property(
+            "failing",
+            &ProptestConfig::with_cases(4),
+            0usize..10,
+            |_| Err("nope".to_string()),
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Derive macros for the vendored `serde` stand-in.
+//!
+//! The real `serde_derive` pulls in `syn`/`quote`; this container has no
+//! network access, so the subset of the derive input grammar actually used
+//! by the workspace (plain structs, C-like/newtype enum variants, the
+//! `#[serde(transparent)]` attribute) is parsed by hand from the token
+//! stream. Generics are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the type under derive.
+struct Input {
+    name: String,
+    /// `#[serde(transparent)]` was seen. Single-field tuple structs are
+    /// serialized transparently either way, so this is informational.
+    #[allow(dead_code)]
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct with this many fields.
+    Tuple(usize),
+    /// Enum: (variant name, arity) where arity is 0 (unit) or 1 (newtype).
+    Enum(Vec<(String, usize)>),
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut transparent = false;
+    let mut i = 0;
+    // Outer attributes: `#[...]`. Remember whether `#[serde(transparent)]`
+    // appears; skip everything else (doc comments arrive in this form too).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    let body = g.stream().to_string();
+                    if body.starts_with("serde") && body.contains("transparent") {
+                        transparent = true;
+                    }
+                }
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    // Visibility: `pub` optionally followed by `(...)`.
+    if matches!(&tokens.get(i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        i += 1;
+        if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    let is_enum = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => false,
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => true,
+        other => panic!("serde derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match &tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive (vendored): generic types are not supported");
+    }
+    let body = loop {
+        match &tokens.get(i) {
+            Some(TokenTree::Group(g))
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break g.clone()
+            }
+            Some(_) => i += 1,
+            None => panic!("serde derive: missing struct/enum body"),
+        }
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_variants(&body))
+    } else if body.delimiter() == Delimiter::Parenthesis {
+        Kind::Tuple(count_tuple_fields(&body))
+    } else {
+        Kind::Struct(parse_named_fields(&body))
+    };
+    Input {
+        name,
+        transparent,
+        kind,
+    }
+}
+
+/// Splits a delimited group's tokens on top-level commas.
+fn split_commas(group: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
+    let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    for t in group.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == ',' => out.push(Vec::new()),
+            _ => out.last_mut().expect("non-empty").push(t),
+        }
+    }
+    out.retain(|part| !part.is_empty());
+    out
+}
+
+/// Skips leading attributes and visibility in a field/variant token slice.
+fn skip_attrs_and_vis(part: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match part.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(part.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            _ => return &part[i..],
+        }
+    }
+}
+
+fn parse_named_fields(body: &proc_macro::Group) -> Vec<String> {
+    split_commas(body)
+        .iter()
+        .map(|part| {
+            let part = skip_attrs_and_vis(part);
+            match part.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected field name, found {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn count_tuple_fields(body: &proc_macro::Group) -> usize {
+    split_commas(body).len()
+}
+
+fn parse_variants(body: &proc_macro::Group) -> Vec<(String, usize)> {
+    split_commas(body)
+        .iter()
+        .map(|part| {
+            let part = skip_attrs_and_vis(part);
+            let name = match part.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                other => panic!("serde derive: expected variant name, found {other:?}"),
+            };
+            let arity = match part.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    split_commas(g).len()
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    panic!("serde derive (vendored): struct-like enum variants are not supported")
+                }
+                _ => 0,
+            };
+            if arity > 1 {
+                panic!("serde derive (vendored): multi-field enum variants are not supported");
+            }
+            (name, arity)
+        })
+        .collect()
+}
+
+/// Derives `serde::Serialize` (value-model flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Kind::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         ::serde::Value::String(::std::string::String::from(\"{v}\")),"
+                    ),
+                    _ => format!(
+                        "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+                         ::std::string::String::from(\"{v}\"), \
+                         ::serde::Serialize::to_value(f0))]),"
+                    ),
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-model flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::field(value, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Kind::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|k| {
+                    format!("::serde::Deserialize::from_value(::serde::element(value, {k})?)?")
+                })
+                .collect();
+            format!("::std::result::Result::Ok({name}({}))", inits.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| {
+                    format!("if s == \"{v}\" {{ return ::std::result::Result::Ok({name}::{v}); }}")
+                })
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, a)| *a == 1)
+                .map(|(v, _)| {
+                    format!(
+                        "if key == \"{v}\" {{ return ::std::result::Result::Ok(\
+                         {name}::{v}(::serde::Deserialize::from_value(inner)?)); }}"
+                    )
+                })
+                .collect();
+            format!(
+                "if let ::serde::Value::String(s) = value {{ {unit} \
+                 return ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"unknown unit variant\")); }}\n\
+                 if let ::std::option::Option::Some((key, inner)) = \
+                 ::serde::single_entry(value) {{ {newtype} }}\n\
+                 ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"unrecognised enum encoding\"))",
+                unit = unit_arms.join(" "),
+                newtype = newtype_arms.join(" "),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

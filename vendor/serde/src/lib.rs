@@ -1,0 +1,342 @@
+//! Minimal vendored stand-in for `serde`.
+//!
+//! The container building this workspace has no access to crates.io, so
+//! this crate re-implements the slice of serde the workspace actually
+//! uses: derive-able `Serialize`/`Deserialize` over a JSON-shaped
+//! [`Value`] model. `serde_json` (also vendored) adds text parsing and
+//! printing on top of the same `Value`.
+//!
+//! Differences from real serde, on purpose:
+//! * serialization goes through [`Value`] rather than a streaming
+//!   `Serializer` — fine at experiment-table scale;
+//! * objects preserve insertion order (matching real `serde_json`'s
+//!   struct-field ordering);
+//! * only the types this workspace derives are supported (plain structs,
+//!   unit/newtype enum variants, `#[serde(transparent)]` newtypes).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A JSON-shaped value: the serialization data model of this mini-serde.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(elements) => Some(elements),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        match self {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map_or(&NULL, |(_, v)| v),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(entries) => {
+                if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[pos].1
+                } else {
+                    entries.push((key.to_string(), Value::Null));
+                    &mut entries.last_mut().expect("just pushed").1
+                }
+            }
+            _ => panic!("cannot index non-object value with a string key"),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(elements) => elements.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(elements) => &mut elements[idx],
+            _ => panic!("cannot index non-array value with a number"),
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialization error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves as a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the value model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self`, validating shape (but not semantic invariants).
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---- helpers the derive macros call ----------------------------------
+
+/// Looks up a struct field by name in an object value.
+pub fn field<'v>(value: &'v Value, name: &str) -> Result<&'v Value, DeError> {
+    value
+        .as_object()
+        .ok_or_else(|| DeError::custom(format!("expected object with field `{name}`")))?
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::custom(format!("missing field `{name}`")))
+}
+
+/// Looks up a tuple element by position in an array value.
+pub fn element(value: &Value, idx: usize) -> Result<&Value, DeError> {
+    value
+        .as_array()
+        .ok_or_else(|| DeError::custom("expected array"))?
+        .get(idx)
+        .ok_or_else(|| DeError::custom(format!("missing tuple element {idx}")))
+}
+
+/// The single `(key, value)` entry of a one-entry object (enum encoding).
+pub fn single_entry(value: &Value) -> Option<(&str, &Value)> {
+    match value.as_object() {
+        Some(entries) if entries.len() == 1 => Some((entries[0].0.as_str(), &entries[0].1)),
+        _ => None,
+    }
+}
+
+// ---- impls for primitives and std containers -------------------------
+
+macro_rules! serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    _ => Err(DeError::custom(concat!(
+                        "expected unsigned integer for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::custom("integer out of range")),
+                    _ => Err(DeError::custom(concat!(
+                        "expected integer for ",
+                        stringify!($t)
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(x) => Ok(*x),
+            Value::UInt(n) => Ok(*n as f64),
+            Value::Int(n) => Ok(*n as f64),
+            _ => Err(DeError::custom("expected number")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::custom("expected boolean")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::custom("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_array()
+            .ok_or_else(|| DeError::custom("expected array"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
