@@ -97,10 +97,27 @@ fn label_machinery(c: &mut Criterion) {
     let g = Arc::new(generators::oriented_ring(32).unwrap());
     let ex: Arc<dyn Explorer> = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
     let alg = Fast::new(g, ex, LabelSpace::new(1 << 20).unwrap());
+    // The per-scenario recompile baseline: what every scenario of a sweep
+    // paid before `AlgorithmExecutor` memoized compiled schedules.
     c.bench_function("core/fast_schedule_compile", |b| {
         b.iter(|| {
             black_box(
                 alg.schedule(Label::new(black_box(987_654)).unwrap())
+                    .unwrap()
+                    .total_rounds(),
+            )
+        });
+    });
+    // The memoized path: after the first compile, a sweep's remaining
+    // scenarios with the same label are a shared-`Arc` cache hit. Labels
+    // repeat across thousands of start pairs, so this ratio is the
+    // per-scenario saving of the executor's schedule cache.
+    let executor = rendezvous_runner::AlgorithmExecutor::new(&alg);
+    c.bench_function("core/fast_schedule_compile_cached", |b| {
+        b.iter(|| {
+            black_box(
+                executor
+                    .schedule(black_box(987_654))
                     .unwrap()
                     .total_rounds(),
             )

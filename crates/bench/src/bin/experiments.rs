@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! experiments [all|x1|x2|...|x9]... [--quick] [--json] [--sequential|--parallel]
+//!             [--shard i/m [--emit-shard]] [--merge-shards FILE...]
 //! ```
 //!
 //! `--quick` shrinks the sweeps (used by CI); the default parameters are
@@ -21,6 +22,19 @@
 //! ```text
 //! diff <(experiments all --quick --sequential) <(experiments all --quick --parallel)
 //! ```
+//!
+//! # Sharded sweeps (multi-process)
+//!
+//! `--shard i/m --emit-shard` executes only shard `i` of every
+//! adversarial grid and prints a JSON ledger of per-sweep partial stats
+//! instead of tables; `--merge-shards` merges the `m` ledgers and renders
+//! the ordinary output from the merged stats — byte-identical to a
+//! single-process run with the same selection and flags:
+//!
+//! ```text
+//! for i in 0 1 2; do experiments x1 --json --shard $i/3 --emit-shard > s$i.json; done
+//! experiments x1 --json --merge-shards s0.json s1.json s2.json   # == experiments x1 --json
+//! ```
 
 use rendezvous_bench::*;
 use rendezvous_runner::Runner;
@@ -28,11 +42,19 @@ use rendezvous_runner::Runner;
 struct Config {
     quick: bool,
     json: bool,
+    /// Shard mode: suppress the ordinary output (the shard ledger goes to
+    /// stdout instead).
+    emit_shard: bool,
     runner: Runner,
 }
 
-/// Emits either the rendered markdown or the serialized rows.
+/// Emits either the rendered markdown or the serialized rows. In
+/// `--emit-shard` mode nothing is emitted: the rows are partial (one
+/// shard's worth of scenarios) and stdout is reserved for the ledger.
 fn emit<R: serde::Serialize>(cfg: &Config, id: &str, rows: &[R], rendered: String) {
+    if cfg.emit_shard {
+        return;
+    }
     if cfg.json {
         let doc = serde_json::json!({ "experiment": id, "rows": rows });
         println!(
@@ -45,44 +67,118 @@ fn emit<R: serde::Serialize>(cfg: &Config, id: &str, rows: &[R], rendered: Strin
 }
 
 /// Prints a section heading: to stdout for markdown output, to stderr in
-/// `--json` mode so stdout stays a clean JSON stream for pipelines.
+/// `--json` and `--emit-shard` modes so stdout stays a clean JSON stream.
 fn section(cfg: &Config, heading: &str) {
-    if cfg.json {
+    if cfg.json || cfg.emit_shard {
         eprintln!("{heading}");
     } else {
         println!("{heading}");
     }
 }
 
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2);
+}
+
+/// Parses `i/m` (as in `--shard 1/3`) into `(shard, of)`.
+fn parse_shard_spec(spec: &str) -> (usize, usize) {
+    let parsed = spec.split_once('/').and_then(|(i, m)| {
+        let shard: usize = i.parse().ok()?;
+        let of: usize = m.parse().ok()?;
+        (of > 0 && shard < of).then_some((shard, of))
+    });
+    match parsed {
+        Some(pair) => pair,
+        None => usage_error(&format!(
+            "--shard expects i/m with i < m (e.g. --shard 1/3), got `{spec}`"
+        )),
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let sequential = args.iter().any(|a| a == "--sequential");
-    let parallel = args.iter().any(|a| a == "--parallel");
-    if sequential && parallel {
-        eprintln!("--sequential and --parallel are mutually exclusive");
-        std::process::exit(2);
+    let mut quick = false;
+    let mut json = false;
+    let mut sequential = false;
+    let mut parallel = false;
+    let mut emit_shard = false;
+    let mut shard: Option<(usize, usize)> = None;
+    let mut merge_files: Option<Vec<String>> = None;
+    let mut wanted: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--json" => json = true,
+            "--sequential" => sequential = true,
+            "--parallel" => parallel = true,
+            "--emit-shard" => emit_shard = true,
+            "--shard" => {
+                let spec = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--shard requires an i/m argument"));
+                shard = Some(parse_shard_spec(&spec));
+            }
+            "--merge-shards" => {
+                // Everything after --merge-shards is a shard ledger file;
+                // experiment ids go before the flag.
+                merge_files = Some(iter.by_ref().collect());
+            }
+            other if other.starts_with("--") => {
+                usage_error(&format!("unknown flag: {other}"));
+            }
+            id => wanted.push(id.to_string()),
+        }
     }
-    let mut wanted: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
-    if wanted.is_empty() || wanted.contains(&"all") {
-        wanted = vec!["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"];
+    if sequential && parallel {
+        usage_error("--sequential and --parallel are mutually exclusive");
+    }
+    if emit_shard && shard.is_none() {
+        usage_error("--emit-shard requires --shard i/m");
+    }
+    // --shard implies --emit-shard: a shard run's rows are partial (one
+    // shard's worth of scenarios) and would be indistinguishable from full
+    // results, so the only meaningful stdout for a shard run is the ledger.
+    let emit_shard = emit_shard || shard.is_some();
+    if merge_files.is_some() && (shard.is_some() || emit_shard) {
+        usage_error("--merge-shards cannot be combined with --shard/--emit-shard");
+    }
+    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+        wanted = ["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"]
+            .map(String::from)
+            .to_vec();
     }
     let cfg = Config {
         quick,
         json,
+        emit_shard,
         runner: if sequential {
             Runner::sequential()
         } else {
             Runner::parallel()
         },
     };
-    for w in wanted {
-        match w {
+
+    if let Some((i, m)) = shard {
+        sharding::begin_shard(i, m);
+    } else if let Some(files) = &merge_files {
+        let emissions: Vec<sharding::ShardEmission> = files
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| usage_error(&format!("cannot read {path}: {e}")));
+                serde_json::from_str(&text)
+                    .unwrap_or_else(|e| usage_error(&format!("{path} is not a shard ledger: {e}")))
+            })
+            .collect();
+        let merged = sharding::merge_emissions(emissions)
+            .unwrap_or_else(|e| usage_error(&format!("cannot merge shards: {e}")));
+        sharding::begin_replay(merged);
+    }
+
+    for w in &wanted {
+        match w.as_str() {
             "x1" => x1(&cfg),
             "x2" => x2(&cfg),
             "x3" => x3(&cfg),
@@ -94,6 +190,16 @@ fn main() {
             "x9" => x9(&cfg),
             other => eprintln!("unknown experiment: {other}"),
         }
+    }
+
+    if shard.is_some() {
+        let emission = sharding::finish_shard();
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&emission).expect("serializable ledger")
+        );
+    } else if merge_files.is_some() {
+        sharding::finish_replay();
     }
 }
 

@@ -49,6 +49,11 @@ pub fn adversarial_grid(
 /// returns the full aggregate statistics, checked against the algorithm's
 /// paper bounds.
 ///
+/// When a sharding session is active (see [`crate::sharding`]), only this
+/// process's shard of the grid executes (the partial stats are recorded
+/// for emission), or a previously merged record replays in place of
+/// execution — both transparently to callers.
+///
 /// # Panics
 ///
 /// Panics if any execution fails to meet within `horizon` — the paper's
@@ -63,22 +68,71 @@ pub fn sweep_worst(
     runner: &Runner,
 ) -> SweepStats {
     let grid = adversarial_grid(algorithm, label_pairs, delays, horizon);
-    let stats = runner
-        .sweep_bounded(
-            &AlgorithmExecutor::new(algorithm),
-            &grid.scenarios(),
-            Some(Bounds {
-                time: algorithm.time_bound(),
-                cost: algorithm.cost_bound(),
-            }),
-        )
-        .unwrap_or_else(|e| panic!("adversarial sweep failed: {e}"));
+    let bounds = Some(Bounds {
+        time: algorithm.time_bound(),
+        cost: algorithm.cost_bound(),
+    });
+    let stats = match crate::sharding::plan_sweep() {
+        crate::sharding::SweepPlan::Full => runner
+            .sweep_bounded(
+                &AlgorithmExecutor::new(algorithm),
+                &grid.scenarios(),
+                bounds,
+            )
+            .unwrap_or_else(|e| panic!("adversarial sweep failed: {e}")),
+        crate::sharding::SweepPlan::Shard { shard, of } => {
+            let stats = runner
+                .sweep_shard(
+                    &AlgorithmExecutor::new(algorithm),
+                    &grid.shard(shard, of),
+                    bounds,
+                )
+                .unwrap_or_else(|e| panic!("adversarial shard sweep failed: {e}"));
+            crate::sharding::record_shard_sweep(crate::sharding::SweepRecord {
+                full_size: grid.full_size(),
+                size: grid.size(),
+                stats,
+            });
+            // A shard of a small grid may legitimately be empty, so the
+            // non-emptiness sanity check applies only to the whole grid.
+            assert!(
+                grid.size() > 0,
+                "empty adversarial grid for {}",
+                algorithm.name()
+            );
+            return check_failures(algorithm, stats);
+        }
+        crate::sharding::SweepPlan::Replay(record) => {
+            // Both fingerprints must match: post-cap sizes can coincide
+            // across different sweeps (e.g. two capped grids clipped to
+            // the same cap), but the pre-cap product space disambiguates.
+            assert_eq!(
+                (record.full_size, record.size),
+                (grid.full_size(), grid.size()),
+                "merged ledger out of step with the sweep sequence for {} \
+                 (recorded a {}/{}-scenario grid, expected {}/{}) — shard and \
+                 merge runs must use identical experiment selections and flags",
+                algorithm.name(),
+                record.size,
+                record.full_size,
+                grid.size(),
+                grid.full_size()
+            );
+            record.stats
+        }
+    };
     assert!(
         stats.executed > 0,
         "empty adversarial grid for algorithm {} — misconfigured sweep \
          (no label pairs, no delays, or a graph without distinct start pairs)",
         algorithm.name()
     );
+    check_failures(algorithm, stats)
+}
+
+/// Asserts the paper's always-meets guarantee over (possibly partial)
+/// sweep stats and passes them through.
+fn check_failures(algorithm: &dyn RendezvousAlgorithm, stats: SweepStats) -> SweepStats {
     assert_eq!(
         stats.failures,
         0,
@@ -110,8 +164,19 @@ pub fn measure_worst(
 /// The standard adversarial label-pair sample for a space of size `l`:
 /// the extremes and a middle pair (for `Cheap` the worst pair has the
 /// largest *smaller* label; for `Fast` the longest shared prefix).
+///
+/// # Panics
+///
+/// Panics on `l < 2`: a rendezvous label space needs two distinct labels,
+/// and `l - 1` would otherwise wrap in release builds, producing label 0
+/// deep inside a sweep where `Label::new` rejects it with a far less
+/// useful message.
 #[must_use]
 pub fn standard_label_pairs(l: u64) -> Vec<(u64, u64)> {
+    assert!(
+        l >= 2,
+        "label space of size {l} cannot hold two distinct labels (need l >= 2)"
+    );
     let mut pairs = vec![(1, 2), (l - 1, l), (1, l)];
     if l >= 6 {
         pairs.push((l / 2, l / 2 + 1));
@@ -135,6 +200,10 @@ pub fn all_label_pairs(l: u64) -> Vec<(u64, u64)> {
 #[must_use]
 pub fn standard_delays(e: u64) -> Vec<u64> {
     let mut d = vec![0, 1, e, e + 1, 2 * e];
+    // `dedup` only removes *adjacent* duplicates, and for e <= 1 the list
+    // is not sorted (e.g. e = 0 gives [0, 1, 0, 1, 0]) — without sorting
+    // first, duplicate delays survive and silently inflate every sweep.
+    d.sort_unstable();
     d.dedup();
     d
 }
@@ -166,6 +235,40 @@ mod tests {
         let p = standard_label_pairs(8);
         assert!(p.contains(&(7, 8)) && p.contains(&(1, 8)) && p.contains(&(4, 5)));
         assert_eq!(all_label_pairs(4).len(), 6);
+    }
+
+    /// Regression: `l - 1` used to wrap for `l < 2` in release builds,
+    /// producing label 0 and a cryptic `Label::new` rejection deep inside
+    /// the sweep; now the boundary rejects it with a clear message.
+    #[test]
+    #[should_panic(expected = "cannot hold two distinct labels")]
+    fn label_pairs_reject_spaces_too_small_for_rendezvous() {
+        let _ = standard_label_pairs(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold two distinct labels")]
+    fn label_pairs_reject_the_empty_space() {
+        let _ = standard_label_pairs(0);
+    }
+
+    /// Regression: `standard_delays` called `dedup()` on an unsorted list
+    /// for `e <= 1`, leaving duplicate delays that silently inflated every
+    /// sweep (`e = 0` yielded `[0, 1, 0, 1, 0]`).
+    #[test]
+    fn standard_delays_are_strictly_increasing_and_duplicate_free() {
+        assert_eq!(standard_delays(0), vec![0, 1]);
+        assert_eq!(standard_delays(1), vec![0, 1, 2]);
+        assert_eq!(standard_delays(2), vec![0, 1, 2, 3, 4]);
+        assert_eq!(standard_delays(5), vec![0, 1, 5, 6, 10]);
+        for e in 0..40 {
+            let d = standard_delays(e);
+            assert!(
+                d.windows(2).all(|w| w[0] < w[1]),
+                "delays for e = {e} are not strictly increasing: {d:?}"
+            );
+            assert!(d.contains(&0) && d.contains(&(2 * e).max(1)));
+        }
     }
 
     #[test]

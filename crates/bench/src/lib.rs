@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod sharding;
 pub mod x1_cheap;
 pub mod x2_fast;
 pub mod x3_relabel;

@@ -1,0 +1,367 @@
+//! Multi-process sweep sharding for the experiments binary.
+//!
+//! One experiment run performs a deterministic *sequence* of adversarial
+//! sweeps (every [`common::sweep_worst`](crate::common::sweep_worst)
+//! call). Sharding splits each sweep in that sequence across `m`
+//! independent processes and reassembles the exact single-process result:
+//!
+//! 1. **Shard pass** (`experiments --shard i/m --emit-shard`, run once per
+//!    `i`): every sweep executes only shard `i` of its grid
+//!    ([`Grid::shard`](rendezvous_runner::Grid::shard)), and the partial
+//!    [`SweepStats`] are appended to a ledger that is emitted as JSON.
+//! 2. **Merge pass** (`experiments --merge-shards a.json b.json …`): the
+//!    emitted ledgers are merged position-wise with
+//!    [`SweepStats::merge`] and the experiments replay against the merged
+//!    ledger instead of executing — producing output byte-identical to an
+//!    unsharded run.
+//!
+//! The mode lives in a process-wide session (the experiments binary is
+//! single-threaded at the sweep-sequence level, and sweeps themselves may
+//! parallelize freely underneath); library users never touch it, and when
+//! no session is active [`plan_sweep`] says [`SweepPlan::Full`] — the
+//! ordinary single-process path.
+
+use rendezvous_runner::SweepStats;
+use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
+
+/// One sweep's entry in a shard ledger: the shard's partial stats plus
+/// the grid fingerprint used to detect mismatched shard runs at merge
+/// time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepRecord {
+    /// Pre-cap size of the swept grid.
+    pub full_size: usize,
+    /// Post-cap size of the swept grid (what a full sweep executes).
+    pub size: usize,
+    /// The shard's partial stats (or, after merging, the full stats).
+    pub stats: SweepStats,
+}
+
+/// The JSON document one `--emit-shard` run prints: which shard it was
+/// plus its per-sweep ledger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardEmission {
+    /// Shard index of this run.
+    pub shard: usize,
+    /// Total shard count of the sharded sweep.
+    pub of: usize,
+    /// One record per `sweep_worst` call, in call order.
+    pub sweeps: Vec<SweepRecord>,
+}
+
+/// What `sweep_worst` should do for the next sweep.
+pub(crate) enum SweepPlan {
+    /// No session: execute the whole grid (the ordinary path).
+    Full,
+    /// Execute only this shard of the grid and record the partial stats.
+    Shard {
+        /// Shard index.
+        shard: usize,
+        /// Shard count.
+        of: usize,
+    },
+    /// Skip execution; this merged record is the sweep's result. (Boxed:
+    /// a record is an order of magnitude larger than the other variants.)
+    Replay(Box<SweepRecord>),
+}
+
+enum Session {
+    Shard {
+        shard: usize,
+        of: usize,
+        ledger: Vec<SweepRecord>,
+    },
+    Replay {
+        records: Vec<SweepRecord>,
+        cursor: usize,
+    },
+}
+
+static SESSION: Mutex<Option<Session>> = Mutex::new(None);
+
+/// Switches this process into shard mode: every subsequent sweep executes
+/// only shard `shard` of `of` and records its partial stats.
+///
+/// # Panics
+///
+/// Panics if `shard >= of`, `of == 0` or a session is already active.
+pub fn begin_shard(shard: usize, of: usize) {
+    assert!(of > 0 && shard < of, "invalid shard {shard}/{of}");
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    assert!(session.is_none(), "a sweep session is already active");
+    *session = Some(Session::Shard {
+        shard,
+        of,
+        ledger: Vec::new(),
+    });
+}
+
+/// Ends shard mode and returns the emission document to print.
+///
+/// # Panics
+///
+/// Panics if no shard session is active.
+pub fn finish_shard() -> ShardEmission {
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    match session.take() {
+        Some(Session::Shard { shard, of, ledger }) => ShardEmission {
+            shard,
+            of,
+            sweeps: ledger,
+        },
+        _ => panic!("finish_shard without an active shard session"),
+    }
+}
+
+/// Switches this process into replay mode over merged sweep records:
+/// every subsequent sweep consumes the next record instead of executing.
+///
+/// # Panics
+///
+/// Panics if a session is already active.
+pub fn begin_replay(records: Vec<SweepRecord>) {
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    assert!(session.is_none(), "a sweep session is already active");
+    *session = Some(Session::Replay { records, cursor: 0 });
+}
+
+/// Ends replay mode, verifying every merged record was consumed (a
+/// leftover means the merge inputs came from a different experiment
+/// selection than the replay run).
+///
+/// # Panics
+///
+/// Panics if records remain unconsumed or no replay session is active.
+pub fn finish_replay() {
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    match session.take() {
+        Some(Session::Replay { records, cursor }) => {
+            assert_eq!(
+                cursor,
+                records.len(),
+                "replay consumed {cursor} of {} merged sweeps — the shard runs \
+                 covered a different experiment selection than this merge run",
+                records.len()
+            );
+        }
+        _ => panic!("finish_replay without an active replay session"),
+    }
+}
+
+/// Decides how the next sweep runs; called by `sweep_worst` once per sweep.
+///
+/// # Panics
+///
+/// Panics in replay mode when the merged ledger is exhausted.
+pub(crate) fn plan_sweep() -> SweepPlan {
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    match session.as_mut() {
+        None => SweepPlan::Full,
+        Some(Session::Shard { shard, of, .. }) => SweepPlan::Shard {
+            shard: *shard,
+            of: *of,
+        },
+        Some(Session::Replay { records, cursor }) => {
+            let record = records.get(*cursor).unwrap_or_else(|| {
+                panic!(
+                    "sweep #{} requested but the merged ledger holds only {} — \
+                     the shard runs covered a different experiment selection",
+                    *cursor,
+                    records.len()
+                )
+            });
+            *cursor += 1;
+            SweepPlan::Replay(Box::new(record.clone()))
+        }
+    }
+}
+
+/// Records one sweep's partial stats in shard mode; no-op outside it.
+pub(crate) fn record_shard_sweep(record: SweepRecord) {
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    if let Some(Session::Shard { ledger, .. }) = session.as_mut() {
+        ledger.push(record);
+    }
+}
+
+/// Merges the emissions of all `of` shards into one full-sweep ledger,
+/// validating that the inputs are exactly shards `0..of` of the same
+/// sweep sequence.
+///
+/// # Errors
+///
+/// A human-readable description of any inconsistency: wrong shard set,
+/// disagreeing shard counts, or ledgers from different sweep sequences.
+pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<Vec<SweepRecord>, String> {
+    let Some(first) = emissions.first() else {
+        return Err("no shard files given".into());
+    };
+    let of = first.of;
+    if emissions.len() != of {
+        return Err(format!(
+            "expected {of} shard files (one per shard), got {}",
+            emissions.len()
+        ));
+    }
+    emissions.sort_by_key(|e| e.shard);
+    let first = &emissions[0];
+    for (i, e) in emissions.iter().enumerate() {
+        if e.of != of {
+            return Err(format!(
+                "shard file {i} says {} shards, another says {of}",
+                e.of
+            ));
+        }
+        if e.shard != i {
+            return Err(format!(
+                "shard set is not exactly 0..{of}: found shard {} where {i} was expected \
+                 (missing or duplicate emission)",
+                e.shard
+            ));
+        }
+        if e.sweeps.len() != first.sweeps.len() {
+            return Err(format!(
+                "shard {} recorded {} sweeps but shard 0 recorded {} — \
+                 the runs used different experiment selections or flags",
+                e.shard,
+                e.sweeps.len(),
+                first.sweeps.len()
+            ));
+        }
+    }
+    let mut merged: Vec<SweepRecord> = Vec::with_capacity(first.sweeps.len());
+    for sweep_idx in 0..first.sweeps.len() {
+        let template = &emissions[0].sweeps[sweep_idx];
+        let mut stats = SweepStats::default();
+        for e in &emissions {
+            let record = &e.sweeps[sweep_idx];
+            if record.full_size != template.full_size || record.size != template.size {
+                return Err(format!(
+                    "sweep #{sweep_idx}: shard {} swept a {}-scenario grid but shard 0 \
+                     swept {} — the runs used different parameters",
+                    e.shard, record.size, template.size
+                ));
+            }
+            stats = stats.merge(&record.stats);
+        }
+        if stats.executed != template.size {
+            return Err(format!(
+                "sweep #{sweep_idx}: merged shards executed {} of {} scenarios — \
+                 a shard is missing coverage",
+                stats.executed, template.size
+            ));
+        }
+        merged.push(SweepRecord {
+            full_size: template.full_size,
+            size: template.size,
+            stats,
+        });
+    }
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(executed: usize, size: usize) -> SweepRecord {
+        SweepRecord {
+            full_size: size,
+            size,
+            stats: SweepStats {
+                executed,
+                meetings: executed,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn merge_rejects_inconsistent_emissions() {
+        // Wrong file count for the declared shard total.
+        let e = ShardEmission {
+            shard: 0,
+            of: 3,
+            sweeps: vec![],
+        };
+        assert!(merge_emissions(vec![e]).unwrap_err().contains("expected 3"));
+        // Duplicate shard indices.
+        let dup = vec![
+            ShardEmission {
+                shard: 0,
+                of: 2,
+                sweeps: vec![],
+            },
+            ShardEmission {
+                shard: 0,
+                of: 2,
+                sweeps: vec![],
+            },
+        ];
+        assert!(merge_emissions(dup).unwrap_err().contains("not exactly"));
+        // Mismatched sweep counts.
+        let uneven = vec![
+            ShardEmission {
+                shard: 0,
+                of: 2,
+                sweeps: vec![record(1, 2)],
+            },
+            ShardEmission {
+                shard: 1,
+                of: 2,
+                sweeps: vec![],
+            },
+        ];
+        assert!(merge_emissions(uneven)
+            .unwrap_err()
+            .contains("different experiment"));
+        // Coverage hole: shards together executed fewer than the grid.
+        let hole = vec![
+            ShardEmission {
+                shard: 0,
+                of: 2,
+                sweeps: vec![record(1, 4)],
+            },
+            ShardEmission {
+                shard: 1,
+                of: 2,
+                sweeps: vec![record(1, 4)],
+            },
+        ];
+        assert!(merge_emissions(hole)
+            .unwrap_err()
+            .contains("missing coverage"));
+        // And a consistent pair merges.
+        let good = vec![
+            ShardEmission {
+                shard: 0,
+                of: 2,
+                sweeps: vec![record(2, 4)],
+            },
+            ShardEmission {
+                shard: 1,
+                of: 2,
+                sweeps: vec![record(2, 4)],
+            },
+        ];
+        let merged = merge_emissions(good).unwrap();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].stats.executed, 4);
+    }
+
+    #[test]
+    fn emission_serde_round_trip() {
+        let e = ShardEmission {
+            shard: 1,
+            of: 3,
+            sweeps: vec![record(5, 15), record(7, 21)],
+        };
+        let text = serde_json::to_string_pretty(&e).unwrap();
+        let back: ShardEmission = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.shard, 1);
+        assert_eq!(back.of, 3);
+        assert_eq!(back.sweeps.len(), 2);
+        assert_eq!(back.sweeps[1].stats.executed, 7);
+    }
+}

@@ -42,6 +42,12 @@ pub trait RendezvousAlgorithm: fmt::Debug + Send + Sync {
 
     /// Instantiates the agent behavior for a label and start node.
     ///
+    /// Note that the sweep engine's `AlgorithmExecutor` does **not** call
+    /// this method: it compiles via [`RendezvousAlgorithm::schedule`]
+    /// (memoized per sweep) and builds the [`ScheduleBehavior`] itself —
+    /// so `schedule` is the customization point an implementation must
+    /// override; overriding `agent` only affects direct callers.
+    ///
     /// # Errors
     ///
     /// Propagates [`RendezvousAlgorithm::schedule`] errors.

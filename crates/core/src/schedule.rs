@@ -156,7 +156,9 @@ impl Schedule {
 /// rendezvous happens before that.
 pub struct ScheduleBehavior {
     graph: Arc<PortLabeledGraph>,
-    phases: Vec<Phase>,
+    /// Shared, not owned: sweep executors compile a label's schedule once
+    /// and hand the same `Arc` to thousands of behaviors.
+    schedule: Arc<Schedule>,
     position: NodeId,
     phase_idx: usize,
     round_in_phase: u64,
@@ -170,7 +172,7 @@ pub struct ScheduleBehavior {
 impl fmt::Debug for ScheduleBehavior {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ScheduleBehavior")
-            .field("phases", &self.phases)
+            .field("phases", &self.schedule.phases())
             .field("position", &self.position)
             .field("phase_idx", &self.phase_idx)
             .field("round_in_phase", &self.round_in_phase)
@@ -186,10 +188,26 @@ impl ScheduleBehavior {
     /// Panics if `start` is not a node of `graph`.
     #[must_use]
     pub fn new(graph: Arc<PortLabeledGraph>, schedule: Schedule, start: NodeId) -> Self {
+        Self::with_shared(graph, Arc::new(schedule), start)
+    }
+
+    /// Like [`ScheduleBehavior::new`] but reusing an already-compiled,
+    /// shared schedule — the constructor sweep executors use so that one
+    /// compilation serves every scenario with the same label.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a node of `graph`.
+    #[must_use]
+    pub fn with_shared(
+        graph: Arc<PortLabeledGraph>,
+        schedule: Arc<Schedule>,
+        start: NodeId,
+    ) -> Self {
         assert!(graph.contains(start), "start node out of range");
         ScheduleBehavior {
             graph,
-            phases: schedule.phases,
+            schedule,
             position: start,
             phase_idx: 0,
             round_in_phase: 0,
@@ -206,7 +224,7 @@ impl ScheduleBehavior {
 
     /// Skips zero-length phases and starts runs lazily.
     fn settle(&mut self) {
-        while let Some(phase) = self.phases.get(self.phase_idx) {
+        while let Some(phase) = self.schedule.phases().get(self.phase_idx) {
             if self.round_in_phase >= phase.rounds() {
                 self.phase_idx += 1;
                 self.round_in_phase = 0;
@@ -228,7 +246,7 @@ impl ScheduleBehavior {
 impl AgentBehavior for ScheduleBehavior {
     fn next_action(&mut self, observation: Observation) -> Action {
         self.settle();
-        let Some(phase) = self.phases.get(self.phase_idx) else {
+        let Some(phase) = self.schedule.phases().get(self.phase_idx) else {
             return Action::Stay; // schedule exhausted
         };
         debug_assert_eq!(
@@ -345,7 +363,7 @@ mod tests {
         let dfs = Arc::new(DfsMapExplorer::new(g.clone()));
         let s = Schedule::new(vec![Phase::Explore(dfs)]);
         let mut b = ScheduleBehavior::new(g.clone(), s, NodeId::new(4));
-        let rounds = b.phases[0].rounds();
+        let rounds = b.schedule.phases()[0].rounds();
         let trace = run_solo(&g, &mut b, NodeId::new(4), rounds).unwrap();
         assert_eq!(b.position(), *trace.positions.last().unwrap());
     }

@@ -1,9 +1,11 @@
 //! How a [`Scenario`] becomes an execution: pluggable executors.
 
 use crate::{Scenario, ScenarioOutcome};
-use rendezvous_core::{CoreError, Label, RendezvousAlgorithm};
+use rendezvous_core::{CoreError, Label, RendezvousAlgorithm, Schedule, ScheduleBehavior};
 use rendezvous_sim::{AgentBehavior, AgentSpec, MeetingCondition, SimError, Simulation};
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Arc, RwLock};
 
 /// An executor error: configuration or simulation failure. Both indicate a
 /// harness bug (the adversary only enumerates valid configurations), so the
@@ -51,30 +53,74 @@ pub trait Executor: Sync {
 
 /// Executes scenarios against a [`RendezvousAlgorithm`]: each agent runs
 /// the schedule the algorithm compiles for its label.
+///
+/// Schedule compilation is **memoized per executor**: a sweep revisits
+/// each label across thousands of start pairs and delays, so the executor
+/// compiles `label → Arc<Schedule>` once and shares the compiled plan with
+/// every behavior it builds. The cache is write-once per label and safe to
+/// hit from the [`Runner`](crate::Runner)'s worker threads; since
+/// compilation is deterministic, concurrent first hits race benignly.
 pub struct AlgorithmExecutor<'a> {
     algorithm: &'a dyn RendezvousAlgorithm,
+    schedules: RwLock<HashMap<u64, Arc<Schedule>>>,
 }
 
 impl<'a> AlgorithmExecutor<'a> {
     /// Wraps an algorithm.
     #[must_use]
     pub fn new(algorithm: &'a dyn RendezvousAlgorithm) -> Self {
-        AlgorithmExecutor { algorithm }
+        AlgorithmExecutor {
+            algorithm,
+            schedules: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The compiled schedule for `label_value`, memoized across scenarios.
+    ///
+    /// # Errors
+    ///
+    /// Rejects non-positive labels and propagates compilation errors
+    /// (e.g. a label outside the algorithm's label space).
+    pub fn schedule(&self, label_value: u64) -> Result<Arc<Schedule>, RunnerError> {
+        if let Some(s) = self
+            .schedules
+            .read()
+            .expect("schedule cache poisoned")
+            .get(&label_value)
+        {
+            return Ok(Arc::clone(s));
+        }
+        let label = Label::new(label_value)
+            .ok_or_else(|| RunnerError::new(format!("label {label_value} is not positive")))?;
+        let compiled = Arc::new(self.algorithm.schedule(label)?);
+        let mut cache = self.schedules.write().expect("schedule cache poisoned");
+        Ok(Arc::clone(cache.entry(label_value).or_insert(compiled)))
+    }
+
+    /// Number of distinct labels compiled so far (cache size).
+    #[must_use]
+    pub fn compiled_labels(&self) -> usize {
+        self.schedules
+            .read()
+            .expect("schedule cache poisoned")
+            .len()
     }
 }
 
 impl Executor for AlgorithmExecutor<'_> {
     fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError> {
-        let label = |v: u64| {
-            Label::new(v).ok_or_else(|| RunnerError::new(format!("label {v} is not positive")))
-        };
-        let a = self
-            .algorithm
-            .agent(label(scenario.first_label)?, scenario.start_a)?;
-        let b = self
-            .algorithm
-            .agent(label(scenario.second_label)?, scenario.start_b)?;
-        let outcome = Simulation::new(self.algorithm.graph())
+        let graph = self.algorithm.graph();
+        let a = ScheduleBehavior::with_shared(
+            Arc::clone(graph),
+            self.schedule(scenario.first_label)?,
+            scenario.start_a,
+        );
+        let b = ScheduleBehavior::with_shared(
+            Arc::clone(graph),
+            self.schedule(scenario.second_label)?,
+            scenario.start_b,
+        );
+        let outcome = Simulation::new(graph)
             .agent(Box::new(a), AgentSpec::immediate(scenario.start_a))
             .agent(
                 Box::new(b),

@@ -89,10 +89,66 @@ impl Grid {
         self
     }
 
-    /// Number of scenarios before any sampling cap.
+    /// Number of scenarios before any sampling cap, saturating at
+    /// `usize::MAX` for product spaces too large to index (a grid that big
+    /// can only ever be swept through [`Grid::sample_cap`] anyway, and the
+    /// capped stride stays exact below the saturation point).
     #[must_use]
     pub fn full_size(&self) -> usize {
-        self.label_pairs.len() * self.start_pairs.len() * self.delays.len()
+        product_size(
+            self.label_pairs.len(),
+            self.start_pairs.len(),
+            self.delays.len(),
+        )
+    }
+
+    /// Number of scenarios [`Grid::scenarios`] will actually yield: the
+    /// full product space clipped to the sampling cap.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self.cap {
+            Some(cap) => self.full_size().min(cap),
+            None => self.full_size(),
+        }
+    }
+
+    /// The scenario at flat index `index` of the **full** (pre-cap) space.
+    fn nth(&self, index: usize) -> Scenario {
+        let delay_i = index % self.delays.len();
+        let rest = index / self.delays.len();
+        let start_i = rest % self.start_pairs.len();
+        let label_i = rest / self.start_pairs.len();
+        let (first_label, second_label) = self.label_pairs[label_i];
+        let (start_a, start_b) = self.start_pairs[start_i];
+        Scenario {
+            first_label,
+            second_label,
+            start_a,
+            start_b,
+            delay: self.delays[delay_i],
+            horizon: self.horizon,
+        }
+    }
+
+    /// The full-space flat index backing post-cap index `i`: an even
+    /// stride over the flattened space that always includes index 0 and
+    /// never repeats. The product is taken in `u128` — `i * total` readily
+    /// overflows `usize` on billion-scenario grids with large caps.
+    fn strided(i: usize, total: usize, cap: usize) -> usize {
+        usize::try_from(i as u128 * total as u128 / cap as u128)
+            .expect("stride result is below `total`, which fits usize")
+    }
+
+    /// The scenario at post-cap index `i` — identical to
+    /// `self.scenarios()[i]` without materializing the list. The single
+    /// definition of the capped-index → scenario mapping, shared by
+    /// [`Grid::scenarios`] and [`Grid::shard`] so the two can never drift.
+    fn capped_nth(&self, i: usize) -> Scenario {
+        let total = self.full_size();
+        match self.cap {
+            Some(cap) if total > cap => self.nth(Self::strided(i, total, cap)),
+            _ => self.nth(i),
+        }
     }
 
     /// Enumerates the scenarios of this grid, applying the sampling cap.
@@ -103,32 +159,63 @@ impl Grid {
     /// by scenario index.
     #[must_use]
     pub fn scenarios(&self) -> Vec<Scenario> {
-        let total = self.full_size();
-        let nth = |index: usize| -> Scenario {
-            let delay_i = index % self.delays.len();
-            let rest = index / self.delays.len();
-            let start_i = rest % self.start_pairs.len();
-            let label_i = rest / self.start_pairs.len();
-            let (first_label, second_label) = self.label_pairs[label_i];
-            let (start_a, start_b) = self.start_pairs[start_i];
-            Scenario {
-                first_label,
-                second_label,
-                start_a,
-                start_b,
-                delay: self.delays[delay_i],
-                horizon: self.horizon,
-            }
-        };
-        match self.cap {
-            Some(cap) if total > cap => {
-                // Even stride over the flattened index space; always
-                // includes index 0 and never repeats an index.
-                (0..cap).map(|i| nth(i * total / cap)).collect()
-            }
-            _ => (0..total).map(nth).collect(),
+        (0..self.size()).map(|i| self.capped_nth(i)).collect()
+    }
+
+    /// Materializes shard `shard` of `of` — a contiguous slice of the
+    /// (capped) scenario list, tagged with the global index of its first
+    /// scenario so shard sweeps can fold witnesses at their true indices.
+    ///
+    /// The `of` shards partition [`Grid::scenarios`] exactly: same order,
+    /// no overlap, nothing dropped, and the sampling cap is applied
+    /// *before* sharding — so merging the shard sweeps of a capped grid
+    /// reproduces the capped single-process sweep bit for bit. Shards are
+    /// balanced to within one scenario; when the grid holds fewer
+    /// scenarios than `of`, trailing shards are empty (still valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of == 0` or `shard >= of`.
+    #[must_use]
+    pub fn shard(&self, shard: usize, of: usize) -> ScenarioShard {
+        assert!(of > 0, "cannot split a grid into zero shards");
+        assert!(
+            shard < of,
+            "shard index {shard} out of range for {of} shards"
+        );
+        let len = self.size();
+        let lo = Self::strided(shard, len, of);
+        let hi = Self::strided(shard + 1, len, of);
+        ScenarioShard {
+            offset: lo,
+            scenarios: (lo..hi).map(|i| self.capped_nth(i)).collect(),
         }
     }
+}
+
+/// The saturating three-way product backing [`Grid::full_size`]: grids
+/// whose dimensions multiply past `usize::MAX` clamp instead of wrapping
+/// (the old unchecked product wrapped to a small number, making capped
+/// sampling enumerate a tiny, wrong slice of the space).
+fn product_size(a: usize, b: usize, c: usize) -> usize {
+    a.saturating_mul(b).saturating_mul(c)
+}
+
+/// One shard of a grid's scenario list: the scenarios plus the global
+/// index of the first one, produced by [`Grid::shard`].
+///
+/// The offset is what keeps multi-process sweeps byte-deterministic:
+/// [`Runner::sweep_shard`](crate::Runner::sweep_shard) folds each outcome
+/// at index `offset + position`, so worst-case witnesses carry the same
+/// indices they would in the unsharded sweep and
+/// [`SweepStats::merge`](crate::SweepStats::merge) can apply the
+/// lowest-index tie-break globally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioShard {
+    /// Global (capped-list) index of `scenarios[0]`.
+    pub offset: usize,
+    /// The shard's contiguous slice of the capped scenario list.
+    pub scenarios: Vec<Scenario>,
 }
 
 #[cfg(test)]
@@ -183,5 +270,99 @@ mod tests {
     fn cap_larger_than_space_is_a_no_op() {
         let grid = small_grid().sample_cap(1_000);
         assert_eq!(grid.scenarios().len(), 48);
+    }
+
+    #[test]
+    fn shards_partition_the_scenario_list_exactly() {
+        for grid in [small_grid(), small_grid().sample_cap(17)] {
+            let whole = grid.scenarios();
+            for of in [1usize, 2, 3, 5, 48, 100] {
+                let mut rebuilt: Vec<Scenario> = Vec::new();
+                let mut next_offset = 0;
+                for i in 0..of {
+                    let shard = grid.shard(i, of);
+                    assert_eq!(
+                        shard.offset, next_offset,
+                        "shard {i}/{of} must start where the previous ended"
+                    );
+                    next_offset += shard.scenarios.len();
+                    rebuilt.extend(shard.scenarios);
+                }
+                assert_eq!(rebuilt, whole, "concatenated shards ({of}) != full list");
+                // Balanced to within one scenario.
+                let lens: Vec<usize> = (0..of).map(|i| grid.shard(i, of).scenarios.len()).collect();
+                let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced shards: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_scenarios_yields_empty_tails() {
+        let grid = small_grid().sample_cap(3);
+        let lens: Vec<usize> = (0..7).map(|i| grid.shard(i, 7).scenarios.len()).collect();
+        assert_eq!(lens.iter().sum::<usize>(), 3);
+        assert!(lens.iter().all(|&l| l <= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn shard_index_must_be_in_range() {
+        let _ = small_grid().shard(3, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero shards")]
+    fn shard_count_must_be_positive() {
+        let _ = small_grid().shard(0, 0);
+    }
+
+    /// Regression: the sampling stride used to compute `i * total / cap`
+    /// in `usize`, which wraps once `i * total` exceeds `2^64` — silently
+    /// sampling wrong (and duplicate) scenarios on billion-scenario grids
+    /// with large caps. This grid has `2^17 × 2^17 × 2^15 = 2^49`
+    /// scenarios and a `2^16` cap, so the old product reached `2^65`.
+    #[test]
+    fn capped_sampling_survives_huge_index_spaces() {
+        let labels: Vec<(u64, u64)> = (0..1u64 << 17).map(|i| (i + 1, i + 2)).collect();
+        let starts: Vec<(NodeId, NodeId)> = (0..1usize << 17)
+            .map(|i| (NodeId::new(i), NodeId::new(i + 1)))
+            .collect();
+        let delays: Vec<u64> = (0..1u64 << 15).collect();
+        let cap = 1usize << 16;
+        let grid = Grid::new(10)
+            .label_pairs_ordered(&labels)
+            .start_pairs(&starts)
+            .delays(&delays)
+            .sample_cap(cap);
+        assert_eq!(grid.full_size(), 1usize << 49);
+        assert_eq!(grid.size(), cap);
+        let sampled = grid.scenarios();
+        assert_eq!(sampled.len(), cap);
+        // The stride must stay strictly increasing (the wrap broke this),
+        // which also proves every sampled index is distinct and in space.
+        let mut last_label = 0;
+        for s in &sampled {
+            assert!(s.first_label >= last_label, "stride went backwards");
+            last_label = s.first_label;
+        }
+        assert_eq!(sampled[0].first_label, 1, "index 0 must be included");
+        // Strides spread over the whole space, not just a wrapped prefix.
+        assert!(sampled.last().unwrap().first_label > (1 << 17) - 2);
+    }
+
+    /// Regression: the product space size saturates instead of wrapping
+    /// when the dimensions multiply past `usize::MAX` — the old unchecked
+    /// `a * b * c` wrapped (e.g. `2^22 × 2^21 × 2^21` wrapped to 0),
+    /// collapsing capped sweeps of such grids to garbage.
+    #[test]
+    fn full_size_saturates_instead_of_wrapping() {
+        assert_eq!(product_size(1 << 22, 1 << 21, 1 << 21), usize::MAX);
+        assert_eq!(product_size(usize::MAX, usize::MAX, 2), usize::MAX);
+        assert_eq!(product_size(usize::MAX, 1, 1), usize::MAX);
+        // Non-overflowing products stay exact.
+        assert_eq!(product_size(3, 5, 7), 105);
+        assert_eq!(product_size(1 << 20, 1 << 20, 1 << 20), 1 << 60);
+        assert_eq!(product_size(0, usize::MAX, usize::MAX), 0);
     }
 }

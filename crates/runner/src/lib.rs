@@ -19,6 +19,14 @@
 //! * [`SweepStats`] — max/mean time and cost, meeting failures, crossing
 //!   totals, and bound-violation counts against a [`Bounds`] pair.
 //!
+//! Sweeps also scale **across processes**: [`Grid::shard`] partitions the
+//! index-stable scenario list into balanced contiguous shards,
+//! [`Runner::sweep_shard`] folds a shard's outcomes at their global
+//! indices, the resulting [`SweepStats`] serialize over any byte channel
+//! (serde), and [`SweepStats::merge`] is the associative fold that
+//! reassembles the exact single-process aggregates — worst-case witnesses
+//! and their lowest-index tie-breaks included.
+//!
 //! # Examples
 //!
 //! ```
@@ -52,7 +60,7 @@ mod scenario;
 mod stats;
 
 pub use executor::{AlgorithmExecutor, Executor, FactoryExecutor, RunnerError};
-pub use grid::Grid;
+pub use grid::{Grid, ScenarioShard};
 pub use runner::Runner;
 pub use scenario::{Scenario, ScenarioOutcome};
 pub use stats::{fold_outcomes, Bounds, SweepStats, WorstEntry};

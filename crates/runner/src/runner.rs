@@ -1,6 +1,6 @@
 //! The parallel batch executor.
 
-use crate::{Bounds, Executor, RunnerError, Scenario, SweepStats};
+use crate::{Bounds, Executor, RunnerError, Scenario, ScenarioShard, SweepStats};
 use std::num::NonZeroUsize;
 
 /// Executes scenario batches (and generic per-item jobs) sequentially or
@@ -117,6 +117,25 @@ impl Runner {
         scenarios: &[Scenario],
         bounds: Option<Bounds>,
     ) -> Result<SweepStats, RunnerError> {
+        self.sweep_bounded_at(executor, scenarios, 0, bounds)
+    }
+
+    /// [`Runner::sweep_bounded`] for a slice that starts at global
+    /// scenario index `base`: outcomes fold at `base + position`, so the
+    /// resulting stats (witness indices included) are exactly the
+    /// contribution this slice makes to the full sweep. This is what makes
+    /// shard sweeps mergeable — see [`Runner::sweep_shard`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::sweep_bounded`].
+    pub fn sweep_bounded_at(
+        &self,
+        executor: &dyn Executor,
+        scenarios: &[Scenario],
+        base: usize,
+        bounds: Option<Bounds>,
+    ) -> Result<SweepStats, RunnerError> {
         // Map over indices into the borrowed slice: scenarios are Copy but
         // large grids would still pay an avoidable clone of the whole batch.
         let outcomes = self.map((0..scenarios.len()).collect(), |_, i| {
@@ -124,9 +143,27 @@ impl Runner {
         });
         let mut stats = SweepStats::default();
         for (index, outcome) in outcomes.into_iter().enumerate() {
-            stats.absorb(index, &outcome?, bounds);
+            stats.absorb(base + index, &outcome?, bounds);
         }
         Ok(stats)
+    }
+
+    /// Sweeps one shard of a grid (see [`Grid::shard`](crate::Grid::shard)),
+    /// folding outcomes at their global scenario indices. Merging the
+    /// resulting per-shard stats with
+    /// [`SweepStats::merge`](crate::SweepStats::merge) reproduces the
+    /// unsharded sweep field for field.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::sweep_bounded`].
+    pub fn sweep_shard(
+        &self,
+        executor: &dyn Executor,
+        shard: &ScenarioShard,
+        bounds: Option<Bounds>,
+    ) -> Result<SweepStats, RunnerError> {
+        self.sweep_bounded_at(executor, &shard.scenarios, shard.offset, bounds)
     }
 
     /// [`Runner::sweep_bounded`] without bound checking.

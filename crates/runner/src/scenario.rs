@@ -1,6 +1,7 @@
 //! One fully-specified adversarial configuration and its measured result.
 
 use rendezvous_graph::NodeId;
+use serde::{Deserialize, Serialize};
 
 /// A complete two-agent rendezvous configuration: everything the adversary
 /// chooses, plus the round budget the harness allows.
@@ -10,7 +11,7 @@ use rendezvous_graph::NodeId;
 /// enumerating both label role orders in the [`Grid`](crate::Grid) — that
 /// pair of choices realizes "either agent may be delayed arbitrarily"
 /// exactly, as in §1.2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct Scenario {
     /// Label of the first (undelayed) agent.
     pub first_label: u64,

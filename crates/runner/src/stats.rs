@@ -1,9 +1,10 @@
 //! Order-independent aggregation of scenario outcomes.
 
 use crate::{Scenario, ScenarioOutcome};
+use serde::{Deserialize, Serialize};
 
 /// The paper bounds a sweep is checked against.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Bounds {
     /// Worst-case time bound (rounds from the earlier agent's start).
     pub time: u64,
@@ -15,7 +16,7 @@ pub struct Bounds {
 ///
 /// Ties are broken by the smallest scenario index, which makes the witness
 /// independent of execution order (and hence of parallelism).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorstEntry {
     /// Index of the scenario in the swept batch.
     pub index: usize,
@@ -30,7 +31,13 @@ pub struct WorstEntry {
 }
 
 /// Aggregate statistics of one sweep.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Stats are **mergeable**: a sweep can be split into shards (see
+/// [`Grid::shard`](crate::Grid::shard)), executed in separate processes,
+/// serialized across the process boundary, and folded back together with
+/// [`SweepStats::merge`] — producing exactly the stats of the unsharded
+/// sweep, witnesses included.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SweepStats {
     /// Scenarios executed.
     pub executed: usize,
@@ -132,6 +139,53 @@ impl SweepStats {
             None => self.failures += 1,
         }
     }
+
+    /// Combines the stats of two disjoint shards of one sweep into the
+    /// stats of their union — the associative, commutative fold that makes
+    /// multi-process sweeps possible.
+    ///
+    /// Every field of [`SweepStats`] is an associative fold of per-scenario
+    /// contributions (sums and maxima) except the worst-case witnesses,
+    /// which carry the lowest-index tie-break: when both shards reach the
+    /// same extreme value, the witness with the smaller **global** scenario
+    /// index wins, exactly as if the whole sweep had been folded in index
+    /// order by [`SweepStats::absorb`].
+    #[must_use]
+    pub fn merge(&self, other: &SweepStats) -> SweepStats {
+        /// Lowest-index-on-ties winner between two optional witnesses,
+        /// ranked by the given extreme value.
+        fn worst(
+            a: Option<WorstEntry>,
+            b: Option<WorstEntry>,
+            value: impl Fn(&WorstEntry) -> u64,
+        ) -> Option<WorstEntry> {
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    let (vx, vy) = (value(&x), value(&y));
+                    if vx > vy || (vx == vy && x.index <= y.index) {
+                        Some(x)
+                    } else {
+                        Some(y)
+                    }
+                }
+                (x, y) => x.or(y),
+            }
+        }
+        SweepStats {
+            executed: self.executed + other.executed,
+            meetings: self.meetings + other.meetings,
+            failures: self.failures + other.failures,
+            max_time: self.max_time.max(other.max_time),
+            max_cost: self.max_cost.max(other.max_cost),
+            total_time: self.total_time + other.total_time,
+            total_cost: self.total_cost + other.total_cost,
+            crossings: self.crossings + other.crossings,
+            time_violations: self.time_violations + other.time_violations,
+            cost_violations: self.cost_violations + other.cost_violations,
+            worst_time: worst(self.worst_time, other.worst_time, |w| w.time),
+            worst_cost: worst(self.worst_cost, other.worst_cost, |w| w.cost),
+        }
+    }
 }
 
 /// Sequentially folds outcomes (in slice order) into [`SweepStats`] — the
@@ -208,6 +262,93 @@ mod tests {
         let ordered = fold_outcomes(&[a, b], None);
         assert_eq!(ordered.worst_time.unwrap().index, 0);
         assert_eq!(stats.max_time, ordered.max_time);
+    }
+
+    #[test]
+    fn merge_equals_one_pass_fold_and_is_associative() {
+        let outcomes = vec![
+            outcome(Some(4), 2, 0),
+            outcome(None, 9, 1),
+            outcome(Some(10), 1, 0),
+            outcome(Some(10), 8, 2),
+            outcome(Some(3), 8, 0),
+        ];
+        let bounds = Some(Bounds { time: 9, cost: 7 });
+        let whole = fold_outcomes(&outcomes, bounds);
+        // Split at every point: left ++ right must merge back to `whole`.
+        for split in 0..=outcomes.len() {
+            let mut left = SweepStats::default();
+            let mut right = SweepStats::default();
+            for (i, o) in outcomes.iter().enumerate() {
+                if i < split {
+                    left.absorb(i, o, bounds);
+                } else {
+                    right.absorb(i, o, bounds);
+                }
+            }
+            assert_eq!(left.merge(&right), whole, "split at {split}");
+            // Commutes, because indices carry the order.
+            assert_eq!(right.merge(&left), whole, "swapped split at {split}");
+        }
+        // Associativity over a three-way split.
+        let mut parts = [SweepStats::default(); 3];
+        for (i, o) in outcomes.iter().enumerate() {
+            parts[i % 3].absorb(i, o, bounds);
+        }
+        let ab_c = parts[0].merge(&parts[1]).merge(&parts[2]);
+        let a_bc = parts[0].merge(&parts[1].merge(&parts[2]));
+        assert_eq!(ab_c, a_bc);
+        assert_eq!(ab_c, whole);
+    }
+
+    #[test]
+    fn merge_tie_breaks_witnesses_by_lowest_global_index() {
+        let w = outcome(Some(10), 5, 0);
+        let mut low = SweepStats::default();
+        low.absorb(3, &w, None);
+        let mut high = SweepStats::default();
+        high.absorb(11, &w, None);
+        // Either merge order: the index-3 witness must win both extremes.
+        assert_eq!(low.merge(&high).worst_time.unwrap().index, 3);
+        assert_eq!(high.merge(&low).worst_time.unwrap().index, 3);
+        assert_eq!(high.merge(&low).worst_cost.unwrap().index, 3);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut stats = SweepStats::default();
+        stats.absorb(0, &outcome(Some(7), 4, 1), None);
+        let empty = SweepStats::default();
+        assert_eq!(stats.merge(&empty), stats);
+        assert_eq!(empty.merge(&stats), stats);
+    }
+
+    #[test]
+    fn sweep_stats_serde_round_trip() {
+        let bounds = Some(Bounds { time: 9, cost: 7 });
+        let mut stats = fold_outcomes(
+            &[
+                outcome(Some(4), 2, 0),
+                outcome(None, 9, 1),
+                outcome(Some(10), 8, 2),
+            ],
+            bounds,
+        );
+        // Exercise the u128 string fallback path too.
+        stats.total_time += u128::from(u64::MAX) * 3;
+        let text = serde_json::to_string(&stats).unwrap();
+        let back: SweepStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, stats);
+        // Witnesses survive with their full scenario payload.
+        assert_eq!(
+            back.worst_time.unwrap().scenario,
+            stats.worst_time.unwrap().scenario
+        );
+        // And an all-default (witness-free) value round-trips as well.
+        let empty = SweepStats::default();
+        let back: SweepStats =
+            serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
+        assert_eq!(back, empty);
     }
 
     #[test]

@@ -1,0 +1,133 @@
+//! Multi-process determinism, single-process-tested: merging the shard
+//! sweeps of a grid must reproduce the unsharded sequential sweep **field
+//! for field** — witness indices included — for every shard count, and
+//! the stats must survive a serde round trip (the shard→merge path
+//! crosses a process boundary as JSON).
+
+use proptest::prelude::*;
+use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::OrientedRingExplorer;
+use rendezvous_graph::generators;
+use rendezvous_runner::{AlgorithmExecutor, Bounds, Grid, Runner, SweepStats};
+use std::sync::Arc;
+
+fn sweep_setup(n: usize, l: u64, fast: bool) -> (Box<dyn RendezvousAlgorithm>, Option<Bounds>) {
+    let g = Arc::new(generators::oriented_ring(n).unwrap());
+    let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let space = LabelSpace::new(l).unwrap();
+    let alg: Box<dyn RendezvousAlgorithm> = if fast {
+        Box::new(Fast::new(g, ex, space))
+    } else {
+        Box::new(Cheap::new(g, ex, space))
+    };
+    let bounds = Some(Bounds {
+        time: alg.time_bound(),
+        cost: alg.cost_bound(),
+    });
+    (alg, bounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// For every m ∈ {2, 3, 7}: sweep each of the m shards independently
+    /// (each through its own executor, as separate processes would),
+    /// serde-round-trip the per-shard stats, merge them in order and in
+    /// reverse — both must equal the unsharded sequential sweep exactly.
+    #[test]
+    fn merging_shard_sweeps_equals_the_unsharded_sweep(
+        n in 4usize..9,
+        l in 2u64..7,
+        delay in 0u64..9,
+        cap in 0usize..60,
+        fast in 0u8..2,
+    ) {
+        let (alg, bounds) = sweep_setup(n, l, fast == 1);
+        let mut grid = Grid::new(4 * alg.time_bound() + 4 * delay)
+            .label_pairs_both_orders(&[(1, l), (l / 2, l / 2 + 1)])
+            .delays(&[0, delay])
+            .all_start_pairs(alg.graph());
+        // cap < 5 means "no sampling cap" (caps that tiny make the sweep
+        // degenerate; 0 is not a legal cap at all).
+        if cap >= 5 {
+            grid = grid.sample_cap(cap);
+        }
+
+        let reference = Runner::sequential()
+            .sweep_bounded(&AlgorithmExecutor::new(alg.as_ref()), &grid.scenarios(), bounds)
+            .expect("valid configurations");
+
+        for m in [2usize, 3, 7] {
+            let mut merged = SweepStats::default();
+            let mut reversed = SweepStats::default();
+            let shard_stats: Vec<SweepStats> = (0..m)
+                .map(|i| {
+                    let shard = grid.shard(i, m);
+                    // Fresh executor per shard: each process compiles its
+                    // own schedule cache; determinism must not depend on a
+                    // shared one.
+                    let executor = AlgorithmExecutor::new(alg.as_ref());
+                    let stats = Runner::sequential()
+                        .sweep_shard(&executor, &shard, bounds)
+                        .expect("valid configurations");
+                    // Cross the "process boundary".
+                    let json = serde_json::to_string(&stats).expect("serializable");
+                    serde_json::from_str(&json).expect("round trip")
+                })
+                .collect();
+            for stats in &shard_stats {
+                merged = merged.merge(stats);
+            }
+            for stats in shard_stats.iter().rev() {
+                reversed = reversed.merge(stats);
+            }
+            prop_assert_eq!(merged, reference, "m = {}", m);
+            prop_assert_eq!(reversed, reference, "m = {} (reverse merge)", m);
+        }
+    }
+}
+
+/// The executor's schedule cache changes nothing observable: a sweep with
+/// one shared executor equals a sweep where every scenario pays a fresh
+/// compile (the pre-cache behavior), and the cache holds exactly the
+/// distinct labels of the grid.
+#[test]
+fn schedule_memoization_is_invisible_to_results() {
+    let (alg, bounds) = sweep_setup(7, 6, true);
+    let grid = Grid::new(4 * alg.time_bound())
+        .label_pairs_both_orders(&[(1, 6), (2, 3), (1, 3)])
+        .delays(&[0, 2, 5])
+        .all_start_pairs(alg.graph());
+    let scenarios = grid.scenarios();
+
+    let shared = AlgorithmExecutor::new(alg.as_ref());
+    let cached = Runner::parallel()
+        .sweep_bounded(&shared, &scenarios, bounds)
+        .unwrap();
+    // Distinct labels of the grid: {1, 2, 3, 6}.
+    assert_eq!(shared.compiled_labels(), 4);
+
+    let mut uncached = SweepStats::default();
+    for (i, s) in scenarios.iter().enumerate() {
+        use rendezvous_runner::Executor;
+        // A fresh executor per scenario recompiles every schedule.
+        let outcome = AlgorithmExecutor::new(alg.as_ref()).run(s).unwrap();
+        uncached.absorb(i, &outcome, bounds);
+    }
+    assert_eq!(cached, uncached);
+}
+
+/// Invalid labels surface as errors through the cached path, same as they
+/// did through the uncached one.
+#[test]
+fn cached_executor_still_rejects_invalid_labels() {
+    let (alg, _) = sweep_setup(5, 4, false);
+    let executor = AlgorithmExecutor::new(alg.as_ref());
+    assert!(executor.schedule(0).is_err(), "label 0 is not positive");
+    assert!(executor.schedule(3).is_ok());
+    assert!(
+        executor.schedule(99).is_err(),
+        "label outside the space must not cache"
+    );
+    assert_eq!(executor.compiled_labels(), 1);
+}

@@ -223,6 +223,30 @@ macro_rules! serialize_int {
 }
 serialize_int!(i8, i16, i32, i64, isize);
 
+// `u128` does not fit the `Value::UInt(u64)` model: values beyond
+// `u64::MAX` are carried as decimal strings (JSON numbers above 2^53
+// are lossy in most consumers anyway), everything else as `UInt`.
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(n) => Value::UInt(n),
+            Err(_) => Value::String(self.to_string()),
+        }
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::UInt(n) => Ok(u128::from(*n)),
+            Value::String(s) => s
+                .parse()
+                .map_err(|_| DeError::custom("expected decimal string for u128")),
+            _ => Err(DeError::custom("expected unsigned integer for u128")),
+        }
+    }
+}
+
 impl Serialize for f64 {
     fn to_value(&self) -> Value {
         Value::Float(*self)
