@@ -142,9 +142,39 @@ fn graph_generation(c: &mut Criterion) {
     });
 }
 
+/// The topology-sweep graph cache: a `TopoGrid` builds each spec's graph
+/// once and shares the `Arc` across all of that spec's scenarios. The
+/// baseline is what a naive sweep would pay instead — rebuilding the
+/// graph from its spec for every scenario (an X10 spec runs dozens of
+/// scenarios, so the per-scenario saving multiplies out).
+fn topo_graph_build(c: &mut Criterion) {
+    use rendezvous_graph::{ErdosRenyiSpec, GraphSpec, TorusSpec};
+    let spec = GraphSpec::ErdosRenyi(ErdosRenyiSpec {
+        n: 24,
+        edge_permille: 300,
+        seed: 7,
+    });
+    // Per-scenario rebuild baseline: spec → graph on every iteration.
+    c.bench_function("topo/graph_build_per_scenario", |b| {
+        b.iter(|| black_box(spec.build().unwrap().edge_count()));
+    });
+    // The cached path: scenarios share the entry's Arc — per scenario
+    // that is one refcount bump (what `TopoEntry.graph.clone()` costs).
+    let cached = Arc::new(spec.build().unwrap());
+    c.bench_function("topo/graph_build_cached", |b| {
+        b.iter(|| black_box(Arc::clone(&cached).edge_count()));
+    });
+    // The permuted-wrapper variant, the most expensive spec kind in the
+    // standard X10 list (inner build + full port re-labelling).
+    let permuted = GraphSpec::permuted(GraphSpec::Torus(TorusSpec { w: 4, h: 4 }), 9);
+    c.bench_function("topo/graph_build_permuted_torus", |b| {
+        b.iter(|| black_box(permuted.build().unwrap().edge_count()));
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = engine_throughput, engine_occupancy, walk_computation, label_machinery, graph_generation
+    targets = engine_throughput, engine_occupancy, walk_computation, label_machinery, graph_generation, topo_graph_build
 }
 criterion_main!(benches);

@@ -3,8 +3,10 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [all|x1|x2|...|x9]... [--quick] [--json] [--sequential|--parallel]
+//! experiments [all|x1|x2|...|x10]... [--topo] [--quick] [--json]
+//!             [--sequential|--parallel]
 //!             [--shard i/m [--emit-shard]] [--merge-shards FILE...]
+//!             [--spawn-shards m]
 //! ```
 //!
 //! `--quick` shrinks the sweeps (used by CI); the default parameters are
@@ -35,6 +37,19 @@
 //! for i in 0 1 2; do experiments x1 --json --shard $i/3 --emit-shard > s$i.json; done
 //! experiments x1 --json --merge-shards s0.json s1.json s2.json   # == experiments x1 --json
 //! ```
+//!
+//! `--spawn-shards m` automates the loop above in one invocation: it
+//! re-execs this binary `m` times with `--shard i/m`, captures the
+//! ledgers in memory, merges them, and renders the ordinary output —
+//! still byte-identical to the single-process run.
+//!
+//! # Topology sweeps
+//!
+//! `x10` (alias `--topo`) sweeps 100+ **seeded graph instances per
+//! family** ([`x10_topologies`]): the graph becomes an adversary axis.
+//! `all` deliberately excludes it (it is the heaviest table); select it
+//! explicitly. Sharding works for it exactly as above — per-family
+//! `TopoStats` ride the same shard ledger.
 
 use rendezvous_bench::*;
 use rendezvous_runner::Runner;
@@ -96,6 +111,70 @@ fn parse_shard_spec(spec: &str) -> (usize, usize) {
     }
 }
 
+/// Re-execs this binary once per shard (same selection and flags plus
+/// `--shard i/m`), parses the emitted ledgers, and returns them merged —
+/// the driver mode that closes the "spawn the shards and merge
+/// automatically" loop without temp files.
+fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedgers {
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary: {e}");
+        std::process::exit(1);
+    });
+    // Launch every child before collecting any, so the shards actually
+    // overlap in wall-clock time; collection order is irrelevant to the
+    // result (the merge validates and sorts by shard index).
+    let children: Vec<std::process::Child> = (0..m)
+        .map(|i| {
+            std::process::Command::new(&exe)
+                .args(passthrough)
+                .arg("--shard")
+                .arg(format!("{i}/{m}"))
+                .stdout(std::process::Stdio::piped())
+                .stderr(std::process::Stdio::piped())
+                .spawn()
+                .unwrap_or_else(|e| {
+                    eprintln!("cannot spawn shard {i}/{m}: {e}");
+                    std::process::exit(1);
+                })
+        })
+        .collect();
+    // Join (and thereby reap) every child before inspecting any status:
+    // bailing out on the first failure would orphan the still-running
+    // shards mid-sweep. A failed shard is a runtime failure (exit 1),
+    // not a usage error.
+    let outputs: Vec<std::io::Result<std::process::Output>> = children
+        .into_iter()
+        .map(std::process::Child::wait_with_output)
+        .collect();
+    let emissions: Vec<sharding::ShardEmission> = outputs
+        .into_iter()
+        .enumerate()
+        .map(|(i, output)| {
+            let output = output.unwrap_or_else(|e| {
+                eprintln!("cannot join shard {i}/{m}: {e}");
+                std::process::exit(1);
+            });
+            if !output.status.success() {
+                eprintln!(
+                    "shard {i}/{m} failed ({}):\n{}",
+                    output.status,
+                    String::from_utf8_lossy(&output.stderr)
+                );
+                std::process::exit(1);
+            }
+            let text = String::from_utf8_lossy(&output.stdout);
+            serde_json::from_str(&text).unwrap_or_else(|e| {
+                eprintln!("shard {i}/{m} emitted an invalid ledger: {e}");
+                std::process::exit(1);
+            })
+        })
+        .collect();
+    sharding::merge_emissions(emissions).unwrap_or_else(|e| {
+        eprintln!("cannot merge spawned shards: {e}");
+        std::process::exit(1);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
@@ -103,32 +182,57 @@ fn main() {
     let mut sequential = false;
     let mut parallel = false;
     let mut emit_shard = false;
+    let mut topo = false;
     let mut shard: Option<(usize, usize)> = None;
+    let mut spawn: Option<usize> = None;
     let mut merge_files: Option<Vec<String>> = None;
     let mut wanted: Vec<String> = Vec::new();
+    // Args minus the --spawn-shards directive itself: what each spawned
+    // child re-runs (with its --shard i/m appended).
+    let mut passthrough: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     while let Some(arg) = iter.next() {
+        let mut forward = true;
         match arg.as_str() {
             "--quick" => quick = true,
             "--json" => json = true,
             "--sequential" => sequential = true,
             "--parallel" => parallel = true,
             "--emit-shard" => emit_shard = true,
+            "--topo" => topo = true,
+            // Not forwarded: --shard cannot combine with --spawn-shards
+            // (rejected below), so passthrough never carries a shard spec.
             "--shard" => {
                 let spec = iter
                     .next()
                     .unwrap_or_else(|| usage_error("--shard requires an i/m argument"));
                 shard = Some(parse_shard_spec(&spec));
+                continue;
+            }
+            "--spawn-shards" => {
+                let count = iter
+                    .next()
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .filter(|&m| m > 0)
+                    .unwrap_or_else(|| {
+                        usage_error("--spawn-shards requires a positive shard count")
+                    });
+                spawn = Some(count);
+                forward = false;
             }
             "--merge-shards" => {
                 // Everything after --merge-shards is a shard ledger file;
                 // experiment ids go before the flag.
                 merge_files = Some(iter.by_ref().collect());
+                continue;
             }
             other if other.starts_with("--") => {
                 usage_error(&format!("unknown flag: {other}"));
             }
             id => wanted.push(id.to_string()),
+        }
+        if forward {
+            passthrough.push(arg);
         }
     }
     if sequential && parallel {
@@ -144,10 +248,21 @@ fn main() {
     if merge_files.is_some() && (shard.is_some() || emit_shard) {
         usage_error("--merge-shards cannot be combined with --shard/--emit-shard");
     }
-    if wanted.is_empty() || wanted.iter().any(|w| w == "all") {
+    if spawn.is_some() && (shard.is_some() || emit_shard || merge_files.is_some()) {
+        usage_error("--spawn-shards cannot be combined with --shard/--emit-shard/--merge-shards");
+    }
+    // `all` stays x1..x9: the topology sweep is the heaviest table and is
+    // selected explicitly. `--topo` is a selector — alone it runs just
+    // x10; next to ids (or `all`) it adds x10 to them. An explicit `x10`
+    // id survives an `all` expansion for the same reason.
+    let topo = topo || wanted.iter().any(|w| w == "x10");
+    if wanted.iter().any(|w| w == "all") || (wanted.is_empty() && !topo) {
         wanted = ["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"]
             .map(String::from)
             .to_vec();
+    }
+    if topo && !wanted.iter().any(|w| w == "x10") {
+        wanted.push("x10".into());
     }
     let cfg = Config {
         quick,
@@ -162,6 +277,9 @@ fn main() {
 
     if let Some((i, m)) = shard {
         sharding::begin_shard(i, m);
+    } else if let Some(m) = spawn {
+        let merged = spawn_shards(m, &passthrough);
+        sharding::begin_replay(merged.sweeps, merged.topo);
     } else if let Some(files) = &merge_files {
         let emissions: Vec<sharding::ShardEmission> = files
             .iter()
@@ -174,7 +292,7 @@ fn main() {
             .collect();
         let merged = sharding::merge_emissions(emissions)
             .unwrap_or_else(|e| usage_error(&format!("cannot merge shards: {e}")));
-        sharding::begin_replay(merged);
+        sharding::begin_replay(merged.sweeps, merged.topo);
     }
 
     for w in &wanted {
@@ -188,6 +306,7 @@ fn main() {
             "x7" => x7(&cfg),
             "x8" => x8(&cfg),
             "x9" => x9(&cfg),
+            "x10" => x10(&cfg),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -198,7 +317,7 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&emission).expect("serializable ledger")
         );
-    } else if merge_files.is_some() {
+    } else if spawn.is_some() || merge_files.is_some() {
         sharding::finish_replay();
     }
 }
@@ -309,6 +428,22 @@ fn x8(cfg: &Config) {
     let ns: Vec<usize> = if cfg.quick { vec![6] } else { vec![6, 12, 24] };
     let rows = x8_iterated::run(&ns, 4, &cfg.runner);
     emit(cfg, "x8", &rows, x8_iterated::render(&rows));
+}
+
+fn x10(cfg: &Config) {
+    section(
+        cfg,
+        "\n## X10 — Topology sweep: 100+ seeded graphs per family\n",
+    );
+    let (l, cap) = if cfg.quick { (4, 6) } else { (6, 24) };
+    let specs = x10_topologies::standard_topo_specs(cfg.quick);
+    let report = x10_topologies::run(specs, l, cap, &cfg.runner);
+    emit(
+        cfg,
+        "x10",
+        &report.rows,
+        x10_topologies::render(&report.rows),
+    );
 }
 
 fn x9(cfg: &Config) {

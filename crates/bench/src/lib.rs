@@ -15,15 +15,19 @@
 //! | [`x7_families`] | generality over graph families / explorers |
 //! | [`x8_iterated`] | Conclusion (unknown `E`, telescoping) |
 //! | [`x9_gathering`] | extension: k-agent gathering by merge-and-restart |
+//! | [`x10_topologies`] | topology sweep: 100+ seeded graphs per family |
 //!
 //! Run `cargo run -p rendezvous-bench --release --bin experiments -- all`
-//! to regenerate everything, or pass experiment ids (`x1 x5 …`).
+//! to regenerate everything, or pass experiment ids (`x1 x5 …`). `x10`
+//! (alias `--topo`) is opt-in: it sweeps hundreds of seeded topologies
+//! and is the heaviest table.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod common;
 pub mod sharding;
+pub mod x10_topologies;
 pub mod x1_cheap;
 pub mod x2_fast;
 pub mod x3_relabel;

@@ -15,13 +15,17 @@
 //!    ledger instead of executing — producing output byte-identical to an
 //!    unsharded run.
 //!
+//! Topology sweeps (`x10`) ride the same pipeline: each ledger carries a
+//! parallel `topo` section of per-sweep [`TopoStats`] partials with its
+//! own call-order cursor, merged position-wise with [`TopoStats::merge`].
+//!
 //! The mode lives in a process-wide session (the experiments binary is
 //! single-threaded at the sweep-sequence level, and sweeps themselves may
 //! parallelize freely underneath); library users never touch it, and when
 //! no session is active [`plan_sweep`] says [`SweepPlan::Full`] — the
 //! ordinary single-process path.
 
-use rendezvous_runner::SweepStats;
+use rendezvous_runner::{SweepStats, TopoStats};
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
@@ -38,8 +42,21 @@ pub struct SweepRecord {
     pub stats: SweepStats,
 }
 
+/// One **topology** sweep's entry in a shard ledger — the topo analogue
+/// of [`SweepRecord`], produced by `x10`'s `sweep_topo_worst` calls and
+/// carried through the same emission/merge/replay pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoRecord {
+    /// Total (spec × scenario) size of the swept `TopoGrid`.
+    pub size: usize,
+    /// The shard's partial per-family stats (after merging, the full
+    /// stats).
+    pub stats: TopoStats,
+}
+
 /// The JSON document one `--emit-shard` run prints: which shard it was
-/// plus its per-sweep ledger.
+/// plus its per-sweep ledgers (scenario sweeps and topology sweeps keep
+/// separate call-order cursors).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardEmission {
     /// Shard index of this run.
@@ -48,6 +65,8 @@ pub struct ShardEmission {
     pub of: usize,
     /// One record per `sweep_worst` call, in call order.
     pub sweeps: Vec<SweepRecord>,
+    /// One record per topology sweep, in call order.
+    pub topo: Vec<TopoRecord>,
 }
 
 /// What `sweep_worst` should do for the next sweep.
@@ -66,15 +85,34 @@ pub(crate) enum SweepPlan {
     Replay(Box<SweepRecord>),
 }
 
+/// What a topology sweep should do next — mirrors [`SweepPlan`] with the
+/// topo ledger's record type.
+pub(crate) enum TopoPlan {
+    /// No session: execute the whole topo grid.
+    Full,
+    /// Execute only this shard of the topo grid and record the partials.
+    Shard {
+        /// Shard index.
+        shard: usize,
+        /// Shard count.
+        of: usize,
+    },
+    /// Skip execution; this merged record is the sweep's result.
+    Replay(Box<TopoRecord>),
+}
+
 enum Session {
     Shard {
         shard: usize,
         of: usize,
         ledger: Vec<SweepRecord>,
+        topo_ledger: Vec<TopoRecord>,
     },
     Replay {
         records: Vec<SweepRecord>,
         cursor: usize,
+        topo_records: Vec<TopoRecord>,
+        topo_cursor: usize,
     },
 }
 
@@ -94,6 +132,7 @@ pub fn begin_shard(shard: usize, of: usize) {
         shard,
         of,
         ledger: Vec::new(),
+        topo_ledger: Vec::new(),
     });
 }
 
@@ -105,25 +144,37 @@ pub fn begin_shard(shard: usize, of: usize) {
 pub fn finish_shard() -> ShardEmission {
     let mut session = SESSION.lock().expect("shard session poisoned");
     match session.take() {
-        Some(Session::Shard { shard, of, ledger }) => ShardEmission {
+        Some(Session::Shard {
+            shard,
+            of,
+            ledger,
+            topo_ledger,
+        }) => ShardEmission {
             shard,
             of,
             sweeps: ledger,
+            topo: topo_ledger,
         },
         _ => panic!("finish_shard without an active shard session"),
     }
 }
 
 /// Switches this process into replay mode over merged sweep records:
-/// every subsequent sweep consumes the next record instead of executing.
+/// every subsequent sweep (scenario or topology) consumes its ledger's
+/// next record instead of executing.
 ///
 /// # Panics
 ///
 /// Panics if a session is already active.
-pub fn begin_replay(records: Vec<SweepRecord>) {
+pub fn begin_replay(records: Vec<SweepRecord>, topo_records: Vec<TopoRecord>) {
     let mut session = SESSION.lock().expect("shard session poisoned");
     assert!(session.is_none(), "a sweep session is already active");
-    *session = Some(Session::Replay { records, cursor: 0 });
+    *session = Some(Session::Replay {
+        records,
+        cursor: 0,
+        topo_records,
+        topo_cursor: 0,
+    });
 }
 
 /// Ends replay mode, verifying every merged record was consumed (a
@@ -136,13 +187,26 @@ pub fn begin_replay(records: Vec<SweepRecord>) {
 pub fn finish_replay() {
     let mut session = SESSION.lock().expect("shard session poisoned");
     match session.take() {
-        Some(Session::Replay { records, cursor }) => {
+        Some(Session::Replay {
+            records,
+            cursor,
+            topo_records,
+            topo_cursor,
+        }) => {
             assert_eq!(
                 cursor,
                 records.len(),
                 "replay consumed {cursor} of {} merged sweeps — the shard runs \
                  covered a different experiment selection than this merge run",
                 records.len()
+            );
+            assert_eq!(
+                topo_cursor,
+                topo_records.len(),
+                "replay consumed {topo_cursor} of {} merged topology sweeps — \
+                 the shard runs covered a different experiment selection than \
+                 this merge run",
+                topo_records.len()
             );
         }
         _ => panic!("finish_replay without an active replay session"),
@@ -162,7 +226,9 @@ pub(crate) fn plan_sweep() -> SweepPlan {
             shard: *shard,
             of: *of,
         },
-        Some(Session::Replay { records, cursor }) => {
+        Some(Session::Replay {
+            records, cursor, ..
+        }) => {
             let record = records.get(*cursor).unwrap_or_else(|| {
                 panic!(
                     "sweep #{} requested but the merged ledger holds only {} — \
@@ -177,12 +243,65 @@ pub(crate) fn plan_sweep() -> SweepPlan {
     }
 }
 
+/// Decides how the next **topology** sweep runs; called by the `x10`
+/// experiment once per topo sweep.
+///
+/// # Panics
+///
+/// Panics in replay mode when the merged topo ledger is exhausted.
+pub(crate) fn plan_topo_sweep() -> TopoPlan {
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    match session.as_mut() {
+        None => TopoPlan::Full,
+        Some(Session::Shard { shard, of, .. }) => TopoPlan::Shard {
+            shard: *shard,
+            of: *of,
+        },
+        Some(Session::Replay {
+            topo_records,
+            topo_cursor,
+            ..
+        }) => {
+            let record = topo_records.get(*topo_cursor).unwrap_or_else(|| {
+                panic!(
+                    "topology sweep #{} requested but the merged ledger holds \
+                     only {} — the shard runs covered a different experiment \
+                     selection",
+                    *topo_cursor,
+                    topo_records.len()
+                )
+            });
+            *topo_cursor += 1;
+            TopoPlan::Replay(Box::new(record.clone()))
+        }
+    }
+}
+
 /// Records one sweep's partial stats in shard mode; no-op outside it.
 pub(crate) fn record_shard_sweep(record: SweepRecord) {
     let mut session = SESSION.lock().expect("shard session poisoned");
     if let Some(Session::Shard { ledger, .. }) = session.as_mut() {
         ledger.push(record);
     }
+}
+
+/// Records one topology sweep's partial stats in shard mode; no-op
+/// outside it.
+pub(crate) fn record_topo_sweep(record: TopoRecord) {
+    let mut session = SESSION.lock().expect("shard session poisoned");
+    if let Some(Session::Shard { topo_ledger, .. }) = session.as_mut() {
+        topo_ledger.push(record);
+    }
+}
+
+/// The merged ledgers of all shards of one run: scenario sweeps and
+/// topology sweeps, each in call order.
+#[derive(Debug, Clone, Default)]
+pub struct MergedLedgers {
+    /// One full-sweep record per `sweep_worst` call.
+    pub sweeps: Vec<SweepRecord>,
+    /// One full-sweep record per topology sweep.
+    pub topo: Vec<TopoRecord>,
 }
 
 /// Merges the emissions of all `of` shards into one full-sweep ledger,
@@ -193,7 +312,7 @@ pub(crate) fn record_shard_sweep(record: SweepRecord) {
 ///
 /// A human-readable description of any inconsistency: wrong shard set,
 /// disagreeing shard counts, or ledgers from different sweep sequences.
-pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<Vec<SweepRecord>, String> {
+pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<MergedLedgers, String> {
     let Some(first) = emissions.first() else {
         return Err("no shard files given".into());
     };
@@ -229,8 +348,20 @@ pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<Vec<SweepRec
                 first.sweeps.len()
             ));
         }
+        if e.topo.len() != first.topo.len() {
+            return Err(format!(
+                "shard {} recorded {} topology sweeps but shard 0 recorded {} — \
+                 the runs used different experiment selections or flags",
+                e.shard,
+                e.topo.len(),
+                first.topo.len()
+            ));
+        }
     }
-    let mut merged: Vec<SweepRecord> = Vec::with_capacity(first.sweeps.len());
+    let mut merged = MergedLedgers {
+        sweeps: Vec::with_capacity(first.sweeps.len()),
+        topo: Vec::with_capacity(first.topo.len()),
+    };
     for sweep_idx in 0..first.sweeps.len() {
         let template = &emissions[0].sweeps[sweep_idx];
         let mut stats = SweepStats::default();
@@ -252,8 +383,35 @@ pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<Vec<SweepRec
                 stats.executed, template.size
             ));
         }
-        merged.push(SweepRecord {
+        merged.sweeps.push(SweepRecord {
             full_size: template.full_size,
+            size: template.size,
+            stats,
+        });
+    }
+    for topo_idx in 0..first.topo.len() {
+        let template = &emissions[0].topo[topo_idx];
+        let mut stats = TopoStats::default();
+        for e in &emissions {
+            let record = &e.topo[topo_idx];
+            if record.size != template.size {
+                return Err(format!(
+                    "topology sweep #{topo_idx}: shard {} swept a {}-scenario topo \
+                     grid but shard 0 swept {} — the runs used different parameters",
+                    e.shard, record.size, template.size
+                ));
+            }
+            stats = stats.merge(&record.stats);
+        }
+        if stats.executed() != template.size {
+            return Err(format!(
+                "topology sweep #{topo_idx}: merged shards executed {} of {} \
+                 scenarios — a shard is missing coverage",
+                stats.executed(),
+                template.size
+            ));
+        }
+        merged.topo.push(TopoRecord {
             size: template.size,
             stats,
         });
@@ -277,91 +435,108 @@ mod tests {
         }
     }
 
+    fn emission(shard: usize, of: usize, sweeps: Vec<SweepRecord>) -> ShardEmission {
+        ShardEmission {
+            shard,
+            of,
+            sweeps,
+            topo: vec![],
+        }
+    }
+
+    fn topo_record(per_family: &[(&str, usize)], size: usize) -> TopoRecord {
+        use rendezvous_runner::FamilyStats;
+        let mut stats = TopoStats::default();
+        for &(family, executed) in per_family {
+            stats.families.push(FamilyStats {
+                family: family.into(),
+                executed,
+                meetings: executed,
+                failures: 0,
+                max_time: 0,
+                max_cost: 0,
+                time_violations: 0,
+                cost_violations: 0,
+                worst_time: None,
+                worst_cost: None,
+                worst_ratio: None,
+            });
+        }
+        stats.families.sort_by(|a, b| a.family.cmp(&b.family));
+        TopoRecord { size, stats }
+    }
+
     #[test]
     fn merge_rejects_inconsistent_emissions() {
         // Wrong file count for the declared shard total.
-        let e = ShardEmission {
-            shard: 0,
-            of: 3,
-            sweeps: vec![],
-        };
+        let e = emission(0, 3, vec![]);
         assert!(merge_emissions(vec![e]).unwrap_err().contains("expected 3"));
         // Duplicate shard indices.
-        let dup = vec![
-            ShardEmission {
-                shard: 0,
-                of: 2,
-                sweeps: vec![],
-            },
-            ShardEmission {
-                shard: 0,
-                of: 2,
-                sweeps: vec![],
-            },
-        ];
+        let dup = vec![emission(0, 2, vec![]), emission(0, 2, vec![])];
         assert!(merge_emissions(dup).unwrap_err().contains("not exactly"));
         // Mismatched sweep counts.
-        let uneven = vec![
-            ShardEmission {
-                shard: 0,
-                of: 2,
-                sweeps: vec![record(1, 2)],
-            },
-            ShardEmission {
-                shard: 1,
-                of: 2,
-                sweeps: vec![],
-            },
-        ];
+        let uneven = vec![emission(0, 2, vec![record(1, 2)]), emission(1, 2, vec![])];
         assert!(merge_emissions(uneven)
             .unwrap_err()
             .contains("different experiment"));
         // Coverage hole: shards together executed fewer than the grid.
         let hole = vec![
-            ShardEmission {
-                shard: 0,
-                of: 2,
-                sweeps: vec![record(1, 4)],
-            },
-            ShardEmission {
-                shard: 1,
-                of: 2,
-                sweeps: vec![record(1, 4)],
-            },
+            emission(0, 2, vec![record(1, 4)]),
+            emission(1, 2, vec![record(1, 4)]),
         ];
         assert!(merge_emissions(hole)
             .unwrap_err()
             .contains("missing coverage"));
         // And a consistent pair merges.
         let good = vec![
-            ShardEmission {
-                shard: 0,
-                of: 2,
-                sweeps: vec![record(2, 4)],
-            },
-            ShardEmission {
-                shard: 1,
-                of: 2,
-                sweeps: vec![record(2, 4)],
-            },
+            emission(0, 2, vec![record(2, 4)]),
+            emission(1, 2, vec![record(2, 4)]),
         ];
         let merged = merge_emissions(good).unwrap();
-        assert_eq!(merged.len(), 1);
-        assert_eq!(merged[0].stats.executed, 4);
+        assert_eq!(merged.sweeps.len(), 1);
+        assert_eq!(merged.sweeps[0].stats.executed, 4);
+        assert!(merged.topo.is_empty());
+    }
+
+    #[test]
+    fn merge_validates_and_merges_topo_ledgers() {
+        // Mismatched topo sweep counts across shards.
+        let mut a = emission(0, 2, vec![]);
+        a.topo = vec![topo_record(&[("ring", 2)], 6)];
+        let b = emission(1, 2, vec![]);
+        assert!(merge_emissions(vec![a.clone(), b])
+            .unwrap_err()
+            .contains("topology sweeps"));
+        // Coverage hole in the topo ledger.
+        let mut short = emission(1, 2, vec![]);
+        short.topo = vec![topo_record(&[("ring", 2)], 6)];
+        assert!(merge_emissions(vec![a.clone(), short])
+            .unwrap_err()
+            .contains("missing coverage"));
+        // Consistent pair: families union, counts sum, size checks out.
+        let mut left = emission(0, 2, vec![]);
+        left.topo = vec![topo_record(&[("ring", 2), ("tree", 1)], 6)];
+        let mut right = emission(1, 2, vec![]);
+        right.topo = vec![topo_record(&[("tree", 3)], 6)];
+        let merged = merge_emissions(vec![left, right]).unwrap();
+        assert_eq!(merged.topo.len(), 1);
+        let stats = &merged.topo[0].stats;
+        assert_eq!(stats.executed(), 6);
+        assert_eq!(stats.family("ring").unwrap().executed, 2);
+        assert_eq!(stats.family("tree").unwrap().executed, 4);
     }
 
     #[test]
     fn emission_serde_round_trip() {
-        let e = ShardEmission {
-            shard: 1,
-            of: 3,
-            sweeps: vec![record(5, 15), record(7, 21)],
-        };
+        let mut e = emission(1, 3, vec![record(5, 15), record(7, 21)]);
+        e.topo = vec![topo_record(&[("ring", 4)], 12)];
         let text = serde_json::to_string_pretty(&e).unwrap();
         let back: ShardEmission = serde_json::from_str(&text).unwrap();
         assert_eq!(back.shard, 1);
         assert_eq!(back.of, 3);
         assert_eq!(back.sweeps.len(), 2);
         assert_eq!(back.sweeps[1].stats.executed, 7);
+        assert_eq!(back.topo.len(), 1);
+        assert_eq!(back.topo[0].stats.family("ring").unwrap().executed, 4);
     }
 }

@@ -40,6 +40,7 @@ mod dfs;
 mod error;
 mod explorer;
 mod family;
+mod recipe;
 mod ring;
 mod trial_dfs;
 mod uxs;
@@ -49,6 +50,7 @@ pub use dfs::{dfs_walk, DfsMapExplorer};
 pub use error::ExploreError;
 pub use explorer::{coverage_time, verify_explorer, ExploreRun, Explorer, PlannedRun};
 pub use family::{ExplorationFamily, RingDoublingFamily};
+pub use recipe::spec_explorer;
 pub use ring::{BoundedWalkExplorer, OrientedRingExplorer};
 pub use trial_dfs::{closed_dfs_walk, TrialDfsExplorer};
 pub use uxs::{UxsExplorer, UxsSequence};

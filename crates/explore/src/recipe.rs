@@ -1,0 +1,67 @@
+//! Resolving a [`GraphSpec`]'s exploration recipe into an actual explorer.
+//!
+//! `rendezvous-graph` names *which* `EXPLORE` procedure is sound for each
+//! spec ([`ExplorerRecipe`]); this module builds it. Keeping the resolver
+//! here (rather than in the graph crate) preserves the layering: graphs
+//! know nothing about walks, and every consumer of topology sweeps gets
+//! the same spec → explorer mapping.
+
+use crate::{DfsMapExplorer, ExploreError, Explorer, OrientedRingExplorer};
+use rendezvous_graph::{ExplorerRecipe, GraphSpec, PortLabeledGraph};
+use std::sync::Arc;
+
+/// Builds the explorer a spec's recipe prescribes for its built graph.
+///
+/// The caller supplies the graph (typically built once per spec and shared
+/// via `Arc` across a sweep) so the resolver never rebuilds it.
+///
+/// # Errors
+///
+/// [`ExploreError`] if the recipe's preconditions do not hold on `graph`
+/// (e.g. an oriented-ring recipe on a graph that is not an oriented ring —
+/// which indicates a spec/graph mismatch, since [`GraphSpec::recipe`] only
+/// prescribes `OrientedRing` for ring specs).
+pub fn spec_explorer(
+    spec: &GraphSpec,
+    graph: Arc<PortLabeledGraph>,
+) -> Result<Arc<dyn Explorer>, ExploreError> {
+    match spec.recipe() {
+        ExplorerRecipe::OrientedRing => {
+            Ok(Arc::new(OrientedRingExplorer::new(graph)?) as Arc<dyn Explorer>)
+        }
+        ExplorerRecipe::DfsMap => Ok(Arc::new(DfsMapExplorer::new(graph)) as Arc<dyn Explorer>),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify_explorer;
+    use rendezvous_graph::{RingSpec, SeededSpec, TorusSpec};
+
+    #[test]
+    fn ring_specs_get_the_optimal_walk() {
+        let spec = GraphSpec::Ring(RingSpec { n: 9 });
+        let g = Arc::new(spec.build().unwrap());
+        let ex = spec_explorer(&spec, g.clone()).unwrap();
+        assert_eq!(ex.bound(), 8, "oriented ring explores in n - 1");
+        assert_eq!(verify_explorer(&g, ex.as_ref()).unwrap(), ex.bound());
+    }
+
+    #[test]
+    fn every_recipe_satisfies_the_explorer_contract() {
+        let specs = [
+            GraphSpec::ScrambledRing(SeededSpec { n: 8, seed: 11 }),
+            GraphSpec::Tree(SeededSpec { n: 9, seed: 12 }),
+            GraphSpec::Torus(TorusSpec { w: 3, h: 3 }),
+            GraphSpec::permuted(GraphSpec::Ring(RingSpec { n: 7 }), 13),
+        ];
+        for spec in specs {
+            let g = Arc::new(spec.build().unwrap());
+            let ex = spec_explorer(&spec, g.clone()).unwrap();
+            let worst = verify_explorer(&g, ex.as_ref())
+                .unwrap_or_else(|start| panic!("{spec:?}: no coverage from {start:?}"));
+            assert!(worst <= ex.bound());
+        }
+    }
+}

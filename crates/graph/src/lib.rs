@@ -17,6 +17,9 @@
 //! * [`GraphBuilder`] — validated construction,
 //! * [`generators`] — the families used by the paper's algorithms and lower
 //!   bounds (oriented rings, stars, hypercubes, tori, random graphs, …),
+//! * [`GraphSpec`] — serializable, seeded recipes for graph instances
+//!   (family + parameters + seed), the enumerable topology axis of the
+//!   adversarial sweeps,
 //! * [`analysis`] — BFS/diameter/connectivity utilities for the simulator,
 //! * [`HamiltonianCycle`] / [`EulerCircuit`] — exploration certificates that
 //!   make the sharper bounds `E = n - 1` and `E = e - 1` of §1.2 available,
@@ -50,9 +53,14 @@ pub mod generators;
 #[allow(clippy::module_inception)]
 mod graph;
 mod ids;
+mod spec;
 
 pub use builder::GraphBuilder;
 pub use certificate::{EulerCircuit, HamiltonianCycle};
 pub use error::GraphError;
 pub use graph::{Edge, PortLabeledGraph, Traversal};
 pub use ids::{NodeId, Port};
+pub use spec::{
+    ErdosRenyiSpec, ExplorerRecipe, GraphSpec, PermutedSpec, RegularSpec, RingSpec, SeededSpec,
+    TorusSpec,
+};

@@ -1,0 +1,324 @@
+//! Serializable recipes for seeded graph instances — the topology axis of
+//! the adversary.
+//!
+//! The paper's guarantees hold on *arbitrary* connected graphs, so a
+//! thorough reproduction must sweep the graph itself, not just labels,
+//! starts and delays. A [`GraphSpec`] is a value that *names* one graph —
+//! family, size parameters and (for random families) an RNG seed — and
+//! builds it deterministically: the same spec always yields the same
+//! port-labelled graph, byte for byte. Specs serialize as JSON, so
+//! topology sweeps can be enumerated, sharded across processes, and their
+//! worst-case witnesses reported in a replayable form.
+//!
+//! Each spec also carries an exploration *recipe* ([`ExplorerRecipe`]):
+//! which `EXPLORE` procedure (and hence which bound `E`) a rendezvous
+//! algorithm should use on the built graph. The graph crate cannot build
+//! explorers (they live a layer up), so the recipe is a tag resolved by
+//! `rendezvous-explore`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rendezvous_graph::{GraphSpec, SeededSpec};
+//!
+//! let spec = GraphSpec::Tree(SeededSpec { n: 9, seed: 42 });
+//! let a = spec.build().unwrap();
+//! let b = spec.build().unwrap();
+//! assert_eq!(a, b, "a spec is a pure function of its parameters");
+//! assert_eq!(spec.family(), "tree");
+//! ```
+
+use crate::{generators, GraphError, PortLabeledGraph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Size plus RNG seed: the parameters of the one-dimensional random
+/// families (scrambled rings, random trees).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SeededSpec {
+    /// Number of nodes.
+    pub n: usize,
+    /// RNG seed; equal seeds give byte-identical graphs.
+    pub seed: u64,
+}
+
+/// Parameters of a connected Erdős–Rényi instance.
+///
+/// The edge probability is carried in **permille** (parts per thousand)
+/// rather than as an `f64` so that specs stay `Eq`/`Hash` and their JSON
+/// form round-trips exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ErdosRenyiSpec {
+    /// Number of nodes.
+    pub n: usize,
+    /// Edge probability in permille (`300` means `p = 0.3`).
+    pub edge_permille: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Parameters of a random connected `d`-regular instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RegularSpec {
+    /// Number of nodes (`n * d` must be even).
+    pub n: usize,
+    /// Degree.
+    pub d: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Parameters of a deterministic ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RingSpec {
+    /// Number of nodes.
+    pub n: usize,
+}
+
+/// Parameters of a deterministic torus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TorusSpec {
+    /// Width (`>= 3`).
+    pub w: usize,
+    /// Height (`>= 3`).
+    pub h: usize,
+}
+
+/// A port-permutation wrapper: builds the inner spec, then re-labels every
+/// node's ports with a seeded uniformly random permutation
+/// ([`generators::permute_ports`]). This realizes the model's adversarial
+/// port numbering on any base family.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PermutedSpec {
+    /// The spec whose graph gets its ports scrambled.
+    pub inner: Box<GraphSpec>,
+    /// RNG seed of the permutation.
+    pub seed: u64,
+}
+
+/// Which exploration procedure a built graph should be driven with — the
+/// `E`-bound recipe of a [`GraphSpec`], resolved into an actual explorer
+/// by `rendezvous-explore`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExplorerRecipe {
+    /// The optimal oriented-ring walk (`E = n − 1`); only sound when the
+    /// ring's port promise actually holds.
+    OrientedRing,
+    /// Map-based DFS with backtracking (`E ≤ 2n − 3`, exact per graph);
+    /// sound on every connected graph.
+    DfsMap,
+}
+
+/// A named, seeded, serializable graph instance: family + parameters +
+/// seed, with a deterministic [`GraphSpec::build`] and an explorer recipe.
+///
+/// Two specs compare equal iff they build identical graphs the same way,
+/// so a spec is a valid cache key and a valid cross-process witness.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GraphSpec {
+    /// Oriented ring ([`generators::oriented_ring`]).
+    Ring(RingSpec),
+    /// Ring with seeded random port flips ([`generators::scrambled_ring`]).
+    ScrambledRing(SeededSpec),
+    /// Uniformly random labelled tree ([`generators::random_tree`]).
+    Tree(SeededSpec),
+    /// Connected Erdős–Rényi graph ([`generators::erdos_renyi_connected`]).
+    ErdosRenyi(ErdosRenyiSpec),
+    /// Random connected regular graph ([`generators::random_regular_connected`]).
+    Regular(RegularSpec),
+    /// Torus ([`generators::torus`]).
+    Torus(TorusSpec),
+    /// Any spec with seeded adversarial port re-labelling on top
+    /// ([`generators::permute_ports`]).
+    Permuted(PermutedSpec),
+}
+
+impl GraphSpec {
+    /// Wraps `inner` in a seeded port permutation.
+    #[must_use]
+    pub fn permuted(inner: GraphSpec, seed: u64) -> GraphSpec {
+        GraphSpec::Permuted(PermutedSpec {
+            inner: Box::new(inner),
+            seed,
+        })
+    }
+
+    /// Builds the graph this spec names. Deterministic: equal specs build
+    /// byte-identical graphs (asserted by the property tests in
+    /// `tests/proptests.rs`), which is what makes specs shardable across
+    /// processes.
+    ///
+    /// # Errors
+    ///
+    /// [`GraphError::InvalidParameter`] for degenerate parameters, exactly
+    /// as the underlying generator would report.
+    pub fn build(&self) -> Result<PortLabeledGraph, GraphError> {
+        match self {
+            GraphSpec::Ring(s) => generators::oriented_ring(s.n),
+            GraphSpec::ScrambledRing(s) => {
+                generators::scrambled_ring(s.n, &mut StdRng::seed_from_u64(s.seed))
+            }
+            GraphSpec::Tree(s) => generators::random_tree(s.n, &mut StdRng::seed_from_u64(s.seed)),
+            GraphSpec::ErdosRenyi(s) => {
+                if s.edge_permille > 1000 {
+                    return Err(GraphError::InvalidParameter {
+                        reason: format!("edge_permille must be <= 1000, got {}", s.edge_permille),
+                    });
+                }
+                generators::erdos_renyi_connected(
+                    s.n,
+                    f64::from(s.edge_permille) / 1000.0,
+                    &mut StdRng::seed_from_u64(s.seed),
+                )
+            }
+            GraphSpec::Regular(s) => {
+                generators::random_regular_connected(s.n, s.d, &mut StdRng::seed_from_u64(s.seed))
+            }
+            GraphSpec::Torus(s) => generators::torus(s.w, s.h),
+            GraphSpec::Permuted(s) => {
+                let base = s.inner.build()?;
+                generators::permute_ports(&base, &mut StdRng::seed_from_u64(s.seed))
+            }
+        }
+    }
+
+    /// The family name used to group sweep statistics. Permuted specs
+    /// prefix the inner family (`"permuted-ring"`), since scrambling ports
+    /// changes what an algorithm may assume about the instance.
+    #[must_use]
+    pub fn family(&self) -> String {
+        match self {
+            GraphSpec::Ring(_) => "ring".into(),
+            GraphSpec::ScrambledRing(_) => "scrambled-ring".into(),
+            GraphSpec::Tree(_) => "tree".into(),
+            GraphSpec::ErdosRenyi(_) => "erdos-renyi".into(),
+            GraphSpec::Regular(_) => "regular".into(),
+            GraphSpec::Torus(_) => "torus".into(),
+            GraphSpec::Permuted(s) => format!("permuted-{}", s.inner.family()),
+        }
+    }
+
+    /// The exploration recipe sound for this spec's graphs.
+    ///
+    /// Only a plain [`GraphSpec::Ring`] may use the oriented-ring walk —
+    /// every other family (including a permuted ring, whose port promise
+    /// the permutation destroys) falls back to map-DFS, which is sound on
+    /// any connected graph.
+    #[must_use]
+    pub fn recipe(&self) -> ExplorerRecipe {
+        match self {
+            GraphSpec::Ring(_) => ExplorerRecipe::OrientedRing,
+            _ => ExplorerRecipe::DfsMap,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    fn all_kinds() -> Vec<GraphSpec> {
+        vec![
+            GraphSpec::Ring(RingSpec { n: 7 }),
+            GraphSpec::ScrambledRing(SeededSpec { n: 8, seed: 3 }),
+            GraphSpec::Tree(SeededSpec { n: 9, seed: 4 }),
+            GraphSpec::ErdosRenyi(ErdosRenyiSpec {
+                n: 9,
+                edge_permille: 300,
+                seed: 5,
+            }),
+            GraphSpec::Regular(RegularSpec {
+                n: 10,
+                d: 3,
+                seed: 6,
+            }),
+            GraphSpec::Torus(TorusSpec { w: 3, h: 4 }),
+            GraphSpec::permuted(GraphSpec::Torus(TorusSpec { w: 3, h: 3 }), 7),
+        ]
+    }
+
+    #[test]
+    fn every_kind_builds_a_connected_graph_deterministically() {
+        for spec in all_kinds() {
+            let a = spec.build().unwrap_or_else(|e| panic!("{spec:?}: {e}"));
+            let b = spec.build().unwrap();
+            assert_eq!(a, b, "{spec:?} must be deterministic");
+            assert!(analysis::is_connected(&a), "{spec:?} must be connected");
+            assert!(a.check_invariants().is_ok());
+        }
+    }
+
+    #[test]
+    fn families_and_recipes() {
+        let names: Vec<String> = all_kinds().iter().map(GraphSpec::family).collect();
+        assert_eq!(
+            names,
+            [
+                "ring",
+                "scrambled-ring",
+                "tree",
+                "erdos-renyi",
+                "regular",
+                "torus",
+                "permuted-torus"
+            ]
+        );
+        for spec in all_kinds() {
+            let recipe = spec.recipe();
+            match spec {
+                GraphSpec::Ring(_) => assert_eq!(recipe, ExplorerRecipe::OrientedRing),
+                _ => assert_eq!(recipe, ExplorerRecipe::DfsMap),
+            }
+        }
+        // A permuted ring must NOT claim the oriented-ring recipe.
+        let permuted_ring = GraphSpec::permuted(GraphSpec::Ring(RingSpec { n: 6 }), 1);
+        assert_eq!(permuted_ring.recipe(), ExplorerRecipe::DfsMap);
+        assert_eq!(permuted_ring.family(), "permuted-ring");
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let a = GraphSpec::ScrambledRing(SeededSpec { n: 12, seed: 1 })
+            .build()
+            .unwrap();
+        let b = GraphSpec::ScrambledRing(SeededSpec { n: 12, seed: 2 })
+            .build()
+            .unwrap();
+        assert_ne!(a, b, "seeded variation must actually vary");
+    }
+
+    #[test]
+    fn spec_json_round_trip() {
+        for spec in all_kinds() {
+            let text = serde_json::to_string(&spec).unwrap();
+            let back: GraphSpec = serde_json::from_str(&text).unwrap();
+            assert_eq!(back, spec, "round trip through {text}");
+        }
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        assert!(GraphSpec::Ring(RingSpec { n: 2 }).build().is_err());
+        assert!(GraphSpec::Torus(TorusSpec { w: 2, h: 5 }).build().is_err());
+        assert!(GraphSpec::Regular(RegularSpec {
+            n: 5,
+            d: 3,
+            seed: 0
+        })
+        .build()
+        .is_err());
+        assert!(GraphSpec::ErdosRenyi(ErdosRenyiSpec {
+            n: 5,
+            edge_permille: 1001,
+            seed: 0
+        })
+        .build()
+        .is_err());
+        // The wrapper propagates inner failures.
+        assert!(GraphSpec::permuted(GraphSpec::Ring(RingSpec { n: 0 }), 9)
+            .build()
+            .is_err());
+    }
+}

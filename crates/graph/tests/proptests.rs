@@ -102,6 +102,81 @@ proptest! {
         prop_assert!(analysis::is_connected(&g));
     }
 
+    /// The `GraphSpec` contract, part 1: `permute_ports` changes only the
+    /// port labelling — the degree sequence is preserved node for node,
+    /// and the result is a valid port-labelled graph (ports `0..deg(v)`
+    /// distinct at every node, traversal an involution).
+    #[test]
+    fn permute_ports_preserves_degrees_and_port_validity(
+        g in arbitrary_connected_graph(),
+        seed in 0u64..1_000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = generators::permute_ports(&g, &mut rng).unwrap();
+        prop_assert!(h.check_invariants().is_ok(), "port labelling must stay valid");
+        prop_assert_eq!(h.node_count(), g.node_count());
+        prop_assert_eq!(h.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            prop_assert_eq!(h.degree(v), g.degree(v), "degree sequence must be preserved");
+            // Ports at v are exactly 0..deg(v), each usable.
+            for p in 0..h.degree(v) {
+                prop_assert!(h.traverse(v, Port::new(p)).is_ok());
+            }
+            prop_assert!(h.traverse(v, Port::new(h.degree(v))).is_err());
+        }
+    }
+
+    /// The `GraphSpec` contract, part 2: the seeded random generators are
+    /// **byte-deterministic** — the same seed always produces the same
+    /// graph (asserted on the Debug rendering, which serializes the full
+    /// adjacency-with-ports structure, so equality is byte equality).
+    #[test]
+    fn seeded_generators_are_byte_deterministic(
+        n in 4usize..20,
+        seed in 0u64..1_000,
+    ) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let er_a = generators::erdos_renyi_connected(n, 0.3, &mut StdRng::seed_from_u64(seed)).unwrap();
+        let er_b = generators::erdos_renyi_connected(n, 0.3, &mut StdRng::seed_from_u64(seed)).unwrap();
+        prop_assert_eq!(format!("{er_a:?}").into_bytes(), format!("{er_b:?}").into_bytes());
+
+        let d = 3;
+        if n > d && (n * d) % 2 == 0 {
+            let rr_a = generators::random_regular_connected(n, d, &mut StdRng::seed_from_u64(seed)).unwrap();
+            let rr_b = generators::random_regular_connected(n, d, &mut StdRng::seed_from_u64(seed)).unwrap();
+            prop_assert_eq!(format!("{rr_a:?}").into_bytes(), format!("{rr_b:?}").into_bytes());
+        }
+    }
+
+    /// `GraphSpec` builds are pure: equal specs build equal graphs, and
+    /// the JSON round trip preserves the spec exactly — together these
+    /// make specs valid cross-process sweep coordinates.
+    #[test]
+    fn graph_specs_build_deterministically_and_round_trip(
+        n in 4usize..16,
+        seed in 0u64..1_000,
+        kind in 0u8..5,
+    ) {
+        use rendezvous_graph::{ErdosRenyiSpec, GraphSpec, RegularSpec, SeededSpec};
+        let even = if n % 2 == 0 { n } else { n + 1 };
+        let spec = match kind {
+            0 => GraphSpec::ScrambledRing(SeededSpec { n, seed }),
+            1 => GraphSpec::Tree(SeededSpec { n, seed }),
+            2 => GraphSpec::ErdosRenyi(ErdosRenyiSpec { n, edge_permille: 300, seed }),
+            3 => GraphSpec::Regular(RegularSpec { n: even.max(6), d: 3, seed }),
+            _ => GraphSpec::permuted(GraphSpec::ScrambledRing(SeededSpec { n, seed }), seed ^ 0xA5),
+        };
+        let a = spec.build().unwrap();
+        let b = spec.build().unwrap();
+        prop_assert_eq!(format!("{a:?}").into_bytes(), format!("{b:?}").into_bytes());
+        prop_assert!(analysis::is_connected(&a));
+        let text = serde_json::to_string(&spec).unwrap();
+        let back: GraphSpec = serde_json::from_str(&text).unwrap();
+        prop_assert_eq!(&back, &spec);
+        prop_assert_eq!(format!("{:?}", back.build().unwrap()), format!("{a:?}"));
+    }
+
     #[test]
     fn port_to_agrees_with_traverse(g in arbitrary_connected_graph()) {
         for v in g.nodes() {

@@ -67,10 +67,16 @@ impl Grid {
         self
     }
 
-    /// Sweeps exactly the given ordered start pairs.
+    /// Sweeps the given ordered start pairs, **skipping** any pair whose
+    /// two nodes coincide: a [`Scenario`] places two distinct agents, and
+    /// `start_a == start_b` would be an immediate zero-time "meeting" that
+    /// silently deflates worst-case sweeps. Rejecting at this boundary
+    /// keeps the invariant out of every caller's hands (regression-tested
+    /// below).
     #[must_use]
     pub fn start_pairs(mut self, pairs: &[(NodeId, NodeId)]) -> Self {
-        self.start_pairs.extend_from_slice(pairs);
+        self.start_pairs
+            .extend(pairs.iter().copied().filter(|(a, b)| a != b));
         self
     }
 
@@ -130,15 +136,6 @@ impl Grid {
         }
     }
 
-    /// The full-space flat index backing post-cap index `i`: an even
-    /// stride over the flattened space that always includes index 0 and
-    /// never repeats. The product is taken in `u128` — `i * total` readily
-    /// overflows `usize` on billion-scenario grids with large caps.
-    fn strided(i: usize, total: usize, cap: usize) -> usize {
-        usize::try_from(i as u128 * total as u128 / cap as u128)
-            .expect("stride result is below `total`, which fits usize")
-    }
-
     /// The scenario at post-cap index `i` — identical to
     /// `self.scenarios()[i]` without materializing the list. The single
     /// definition of the capped-index → scenario mapping, shared by
@@ -146,7 +143,7 @@ impl Grid {
     fn capped_nth(&self, i: usize) -> Scenario {
         let total = self.full_size();
         match self.cap {
-            Some(cap) if total > cap => self.nth(Self::strided(i, total, cap)),
+            Some(cap) if total > cap => self.nth(strided(i, total, cap)),
             _ => self.nth(i),
         }
     }
@@ -159,7 +156,25 @@ impl Grid {
     /// by scenario index.
     #[must_use]
     pub fn scenarios(&self) -> Vec<Scenario> {
-        (0..self.size()).map(|i| self.capped_nth(i)).collect()
+        self.scenarios_in(0, self.size())
+    }
+
+    /// Materializes the half-open capped-index range `[lo, hi)` of
+    /// [`Grid::scenarios`] without building the whole list — the slice a
+    /// topology sweep executes when a shard boundary falls inside this
+    /// grid (see [`TopoGrid`](crate::TopoGrid)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.size()`.
+    #[must_use]
+    pub fn scenarios_in(&self, lo: usize, hi: usize) -> Vec<Scenario> {
+        assert!(
+            lo <= hi && hi <= self.size(),
+            "scenario range {lo}..{hi} out of bounds for a grid of {}",
+            self.size()
+        );
+        (lo..hi).map(|i| self.capped_nth(i)).collect()
     }
 
     /// Materializes shard `shard` of `of` — a contiguous slice of the
@@ -184,8 +199,8 @@ impl Grid {
             "shard index {shard} out of range for {of} shards"
         );
         let len = self.size();
-        let lo = Self::strided(shard, len, of);
-        let hi = Self::strided(shard + 1, len, of);
+        let lo = strided(shard, len, of);
+        let hi = strided(shard + 1, len, of);
         ScenarioShard {
             offset: lo,
             scenarios: (lo..hi).map(|i| self.capped_nth(i)).collect(),
@@ -199,6 +214,16 @@ impl Grid {
 /// sampling enumerate a tiny, wrong slice of the space).
 fn product_size(a: usize, b: usize, c: usize) -> usize {
     a.saturating_mul(b).saturating_mul(c)
+}
+
+/// Balanced-partition stride: the start of slice `i` when `total` items
+/// are divided into `cap` contiguous near-equal slices (also the sampling
+/// stride of [`Grid::sample_cap`]). Shared by [`Grid::shard`] and
+/// [`TopoGrid::shard`](crate::TopoGrid::shard) so the two subsystems cut
+/// their index spaces identically.
+pub(crate) fn strided(i: usize, total: usize, cap: usize) -> usize {
+    usize::try_from(i as u128 * total as u128 / cap as u128)
+        .expect("stride result is below `total`, which fits usize")
 }
 
 /// One shard of a grid's scenario list: the scenarios plus the global
@@ -303,6 +328,45 @@ mod tests {
         let lens: Vec<usize> = (0..7).map(|i| grid.shard(i, 7).scenarios.len()).collect();
         assert_eq!(lens.iter().sum::<usize>(), 3);
         assert!(lens.iter().all(|&l| l <= 1));
+    }
+
+    /// Regression: `start_pairs` used to append whatever it was given, so
+    /// a caller-supplied `start_a == start_b` pair produced a degenerate
+    /// "two agents on one node" scenario that met at time 0 and silently
+    /// deflated worst-case sweeps. The boundary now skips such pairs.
+    #[test]
+    fn coincident_start_pairs_are_skipped_at_the_boundary() {
+        let grid = Grid::new(10).label_pairs_ordered(&[(1, 2)]).start_pairs(&[
+            (NodeId::new(0), NodeId::new(0)),
+            (NodeId::new(0), NodeId::new(1)),
+            (NodeId::new(2), NodeId::new(2)),
+            (NodeId::new(1), NodeId::new(0)),
+        ]);
+        let scenarios = grid.scenarios();
+        assert_eq!(scenarios.len(), 2, "both degenerate pairs dropped");
+        assert!(scenarios.iter().all(|s| s.start_a != s.start_b));
+        // The all-degenerate case leaves an empty (zero-scenario) grid.
+        let empty = Grid::new(10)
+            .label_pairs_ordered(&[(1, 2)])
+            .start_pairs(&[(NodeId::new(3), NodeId::new(3))]);
+        assert_eq!(empty.size(), 0);
+    }
+
+    #[test]
+    fn scenarios_in_matches_the_full_enumeration() {
+        for grid in [small_grid(), small_grid().sample_cap(17)] {
+            let whole = grid.scenarios();
+            let n = grid.size();
+            assert_eq!(grid.scenarios_in(0, n), whole);
+            assert_eq!(grid.scenarios_in(3, 11), whole[3..11].to_vec());
+            assert!(grid.scenarios_in(5, 5).is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn scenarios_in_rejects_ranges_past_the_end() {
+        let _ = small_grid().scenarios_in(0, 49);
     }
 
     #[test]

@@ -19,6 +19,12 @@
 //! * [`SweepStats`] — max/mean time and cost, meeting failures, crossing
 //!   totals, and bound-violation counts against a [`Bounds`] pair.
 //!
+//! The **graph itself** is a sweep axis too: a [`TopoGrid`] enumerates
+//! (seeded [`GraphSpec`](rendezvous_graph::GraphSpec) × scenario) spaces
+//! over many graphs — each graph built once and shared across its
+//! scenarios — and folds into per-family [`TopoStats`], mergeable across
+//! shards exactly like [`SweepStats`].
+//!
 //! Sweeps also scale **across processes**: [`Grid::shard`] partitions the
 //! index-stable scenario list into balanced contiguous shards,
 //! [`Runner::sweep_shard`] folds a shard's outcomes at their global
@@ -58,9 +64,11 @@ mod grid;
 mod runner;
 mod scenario;
 mod stats;
+mod topo;
 
 pub use executor::{AlgorithmExecutor, Executor, FactoryExecutor, RunnerError};
 pub use grid::{Grid, ScenarioShard};
 pub use runner::Runner;
 pub use scenario::{Scenario, ScenarioOutcome};
 pub use stats::{fold_outcomes, Bounds, SweepStats, WorstEntry};
+pub use topo::{FamilyStats, TopoEntry, TopoExecutor, TopoGrid, TopoPiece, TopoStats, TopoWitness};

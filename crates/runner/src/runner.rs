@@ -104,6 +104,26 @@ impl Runner {
             .collect()
     }
 
+    /// Executes every scenario through `executor` and returns the raw
+    /// outcomes in input order — the building block for folds other than
+    /// [`SweepStats`] (e.g. the topology sweep's per-family fold).
+    ///
+    /// # Errors
+    ///
+    /// The first [`RunnerError`] by scenario index, if any execution
+    /// failed — deterministic even under parallelism.
+    pub fn outcomes(
+        &self,
+        executor: &dyn Executor,
+        scenarios: &[Scenario],
+    ) -> Result<Vec<crate::ScenarioOutcome>, RunnerError> {
+        self.map((0..scenarios.len()).collect(), |_, i| {
+            executor.run(&scenarios[i])
+        })
+        .into_iter()
+        .collect()
+    }
+
     /// Executes every scenario through `executor` and folds the outcomes
     /// (in scenario order) into [`SweepStats`] checked against `bounds`.
     ///
