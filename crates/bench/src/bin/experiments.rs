@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! experiments [all|x1|x2|...|x10]... [--topo] [--quick] [--json]
+//! experiments [all|x1|x2|...|x11]... [--topo] [--quick] [--json]
 //!             [--sequential|--parallel]
 //!             [--shard i/m [--emit-shard]] [--merge-shards FILE...]
 //!             [--spawn-shards m]
@@ -47,9 +47,12 @@
 //!
 //! `x10` (alias `--topo`) sweeps 100+ **seeded graph instances per
 //! family** ([`x10_topologies`]): the graph becomes an adversary axis.
-//! `all` deliberately excludes it (it is the heaviest table); select it
-//! explicitly. Sharding works for it exactly as above — per-family
-//! `TopoStats` ride the same shard ledger.
+//! `x11` composes that grid with the gathering generalization
+//! ([`x11_gathering_topo`]): k-agent fleets gathered on every seeded
+//! topology, each run checked against its own merge-and-restart bound.
+//! `all` deliberately excludes both (they are the heaviest tables);
+//! select them explicitly. Sharding works for them exactly as above —
+//! per-family `TopoStats` ride the same shard ledger.
 
 use rendezvous_bench::*;
 use rendezvous_runner::Runner;
@@ -251,15 +254,20 @@ fn main() {
     if spawn.is_some() && (shard.is_some() || emit_shard || merge_files.is_some()) {
         usage_error("--spawn-shards cannot be combined with --shard/--emit-shard/--merge-shards");
     }
-    // `all` stays x1..x9: the topology sweep is the heaviest table and is
-    // selected explicitly. `--topo` is a selector — alone it runs just
-    // x10; next to ids (or `all`) it adds x10 to them. An explicit `x10`
-    // id survives an `all` expansion for the same reason.
+    // `all` stays x1..x9: the topology sweeps (x10/x11) are the heaviest
+    // tables and are selected explicitly. `--topo` is a selector — alone
+    // it runs just x10; next to ids (or `all`) it adds x10 to them. An
+    // explicit `x10`/`x11` id survives an `all` expansion for the same
+    // reason.
     let topo = topo || wanted.iter().any(|w| w == "x10");
     if wanted.iter().any(|w| w == "all") || (wanted.is_empty() && !topo) {
+        let explicit_x11 = wanted.iter().any(|w| w == "x11");
         wanted = ["x1", "x2", "x3", "x4", "x5", "x6", "x7", "x8", "x9"]
             .map(String::from)
             .to_vec();
+        if explicit_x11 {
+            wanted.push("x11".into());
+        }
     }
     if topo && !wanted.iter().any(|w| w == "x10") {
         wanted.push("x10".into());
@@ -307,6 +315,7 @@ fn main() {
             "x8" => x8(&cfg),
             "x9" => x9(&cfg),
             "x10" => x10(&cfg),
+            "x11" => x11(&cfg),
             other => eprintln!("unknown experiment: {other}"),
         }
     }
@@ -443,6 +452,29 @@ fn x10(cfg: &Config) {
         "x10",
         &report.rows,
         x10_topologies::render(&report.rows),
+    );
+}
+
+fn x11(cfg: &Config) {
+    section(
+        cfg,
+        "\n## X11 — Gathering fleets across the topology grid\n",
+    );
+    let (l, cap) = if cfg.quick { (4, 4) } else { (6, 8) };
+    let specs = x10_topologies::standard_topo_specs(cfg.quick);
+    let report = x11_gathering_topo::run(
+        specs,
+        l,
+        &x11_gathering_topo::standard_fleet_sizes(cfg.quick),
+        &x11_gathering_topo::standard_phases(cfg.quick),
+        cap,
+        &cfg.runner,
+    );
+    emit(
+        cfg,
+        "x11",
+        &report.rows,
+        x11_gathering_topo::render(&report.rows),
     );
 }
 

@@ -5,7 +5,10 @@
 use rendezvous_core::RendezvousAlgorithm;
 use rendezvous_explore::{Explorer, OrientedRingExplorer};
 use rendezvous_graph::{generators, PortLabeledGraph};
-use rendezvous_runner::{AlgorithmExecutor, Bounds, Grid, Runner, SweepStats};
+use rendezvous_runner::{
+    AlgorithmExecutor, Bounds, Executor, Grid, Runner, SweepStats, TopoExecutor, TopoGrid,
+    TopoStats,
+};
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -45,14 +48,120 @@ pub fn adversarial_grid(
         .all_start_pairs(algorithm.graph())
 }
 
+/// Sweeps `grid` through `executor`, honoring an active sharding session
+/// (see [`crate::sharding`]): in shard mode only this process's shard of
+/// the grid executes and the partial stats are recorded to the ledger;
+/// in replay mode a previously merged record stands in for execution —
+/// both transparently to callers. This is the single grid→stats path of
+/// the experiments binary, shared by the pair sweeps ([`sweep_worst`])
+/// and the gathering sweeps (X9/X11).
+///
+/// # Panics
+///
+/// Panics on any execution error, on an empty grid (`context` names the
+/// sweep in the message) and — in replay mode — when the merged ledger's
+/// grid fingerprints disagree with this run's grid.
+#[must_use]
+pub fn sweep_recorded(
+    context: &str,
+    grid: &Grid,
+    executor: &dyn Executor,
+    bounds: Option<Bounds>,
+    runner: &Runner,
+) -> SweepStats {
+    let stats = match crate::sharding::plan_sweep() {
+        crate::sharding::SweepPlan::Full => runner
+            .sweep_bounded(executor, &grid.scenarios(), bounds)
+            .unwrap_or_else(|e| panic!("adversarial sweep failed: {e}")),
+        crate::sharding::SweepPlan::Shard { shard, of } => {
+            let stats = runner
+                .sweep_shard(executor, &grid.shard(shard, of), bounds)
+                .unwrap_or_else(|e| panic!("adversarial shard sweep failed: {e}"));
+            crate::sharding::record_shard_sweep(crate::sharding::SweepRecord {
+                full_size: grid.full_size(),
+                size: grid.size(),
+                stats: stats.clone(),
+            });
+            // A shard of a small grid may legitimately be empty, so the
+            // non-emptiness sanity check applies only to the whole grid.
+            assert!(grid.size() > 0, "empty adversarial grid for {context}");
+            return stats;
+        }
+        crate::sharding::SweepPlan::Replay(record) => {
+            // Both fingerprints must match: post-cap sizes can coincide
+            // across different sweeps (e.g. two capped grids clipped to
+            // the same cap), but the pre-cap product space disambiguates.
+            assert_eq!(
+                (record.full_size, record.size),
+                (grid.full_size(), grid.size()),
+                "merged ledger out of step with the sweep sequence for {} \
+                 (recorded a {}/{}-scenario grid, expected {}/{}) — shard and \
+                 merge runs must use identical experiment selections and flags",
+                context,
+                record.size,
+                record.full_size,
+                grid.size(),
+                grid.full_size()
+            );
+            record.stats
+        }
+    };
+    assert!(
+        stats.executed > 0,
+        "empty adversarial grid for {context} — misconfigured sweep \
+         (no label pairs, no delays, or a graph without distinct start pairs)"
+    );
+    stats
+}
+
+/// Sweeps a [`TopoGrid`] through a [`TopoExecutor`], honoring an active
+/// sharding session exactly like [`sweep_recorded`] does for scenario
+/// grids — shard mode records partial [`TopoStats`] to the topo ledger,
+/// replay mode consumes the merged record. Shared by X10 (pair
+/// rendezvous over topologies) and X11 (gathering over topologies).
+///
+/// # Panics
+///
+/// Panics if any execution fails or — in replay mode — if the merged
+/// topo ledger came from a different sweep.
+#[must_use]
+pub fn sweep_topo_recorded(
+    topo: &TopoGrid,
+    executor: &dyn TopoExecutor,
+    runner: &Runner,
+) -> TopoStats {
+    match crate::sharding::plan_topo_sweep() {
+        crate::sharding::TopoPlan::Full => runner
+            .sweep_topo(topo, executor)
+            .unwrap_or_else(|e| panic!("topology sweep failed: {e}")),
+        crate::sharding::TopoPlan::Shard { shard, of } => {
+            let stats = runner
+                .sweep_topo_shard(topo, shard, of, executor)
+                .unwrap_or_else(|e| panic!("topology shard sweep failed: {e}"));
+            crate::sharding::record_topo_sweep(crate::sharding::TopoRecord {
+                size: topo.size(),
+                stats: stats.clone(),
+            });
+            stats
+        }
+        crate::sharding::TopoPlan::Replay(record) => {
+            assert_eq!(
+                record.size,
+                topo.size(),
+                "merged topo ledger out of step with this run (recorded a \
+                 {}-scenario topo grid, expected {}) — shard and merge runs \
+                 must use identical experiment selections and flags",
+                record.size,
+                topo.size()
+            );
+            record.stats
+        }
+    }
+}
+
 /// Sweeps the standard adversarial grid through the shared [`Runner`] and
 /// returns the full aggregate statistics, checked against the algorithm's
-/// paper bounds.
-///
-/// When a sharding session is active (see [`crate::sharding`]), only this
-/// process's shard of the grid executes (the partial stats are recorded
-/// for emission), or a previously merged record replays in place of
-/// execution — both transparently to callers.
+/// paper bounds. Sharding sessions are honored via [`sweep_recorded`].
 ///
 /// # Panics
 ///
@@ -72,60 +181,12 @@ pub fn sweep_worst(
         time: algorithm.time_bound(),
         cost: algorithm.cost_bound(),
     });
-    let stats = match crate::sharding::plan_sweep() {
-        crate::sharding::SweepPlan::Full => runner
-            .sweep_bounded(
-                &AlgorithmExecutor::new(algorithm),
-                &grid.scenarios(),
-                bounds,
-            )
-            .unwrap_or_else(|e| panic!("adversarial sweep failed: {e}")),
-        crate::sharding::SweepPlan::Shard { shard, of } => {
-            let stats = runner
-                .sweep_shard(
-                    &AlgorithmExecutor::new(algorithm),
-                    &grid.shard(shard, of),
-                    bounds,
-                )
-                .unwrap_or_else(|e| panic!("adversarial shard sweep failed: {e}"));
-            crate::sharding::record_shard_sweep(crate::sharding::SweepRecord {
-                full_size: grid.full_size(),
-                size: grid.size(),
-                stats,
-            });
-            // A shard of a small grid may legitimately be empty, so the
-            // non-emptiness sanity check applies only to the whole grid.
-            assert!(
-                grid.size() > 0,
-                "empty adversarial grid for {}",
-                algorithm.name()
-            );
-            return check_failures(algorithm, stats);
-        }
-        crate::sharding::SweepPlan::Replay(record) => {
-            // Both fingerprints must match: post-cap sizes can coincide
-            // across different sweeps (e.g. two capped grids clipped to
-            // the same cap), but the pre-cap product space disambiguates.
-            assert_eq!(
-                (record.full_size, record.size),
-                (grid.full_size(), grid.size()),
-                "merged ledger out of step with the sweep sequence for {} \
-                 (recorded a {}/{}-scenario grid, expected {}/{}) — shard and \
-                 merge runs must use identical experiment selections and flags",
-                algorithm.name(),
-                record.size,
-                record.full_size,
-                grid.size(),
-                grid.full_size()
-            );
-            record.stats
-        }
-    };
-    assert!(
-        stats.executed > 0,
-        "empty adversarial grid for algorithm {} — misconfigured sweep \
-         (no label pairs, no delays, or a graph without distinct start pairs)",
-        algorithm.name()
+    let stats = sweep_recorded(
+        algorithm.name(),
+        &grid,
+        &AlgorithmExecutor::new(algorithm),
+        bounds,
+        runner,
     );
     check_failures(algorithm, stats)
 }

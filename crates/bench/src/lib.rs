@@ -16,6 +16,7 @@
 //! | [`x8_iterated`] | Conclusion (unknown `E`, telescoping) |
 //! | [`x9_gathering`] | extension: k-agent gathering by merge-and-restart |
 //! | [`x10_topologies`] | topology sweep: 100+ seeded graphs per family |
+//! | [`x11_gathering_topo`] | gathering fleets × the topology grid |
 //!
 //! Run `cargo run -p rendezvous-bench --release --bin experiments -- all`
 //! to regenerate everything, or pass experiment ids (`x1 x5 …`). `x10`
@@ -28,6 +29,7 @@
 pub mod common;
 pub mod sharding;
 pub mod x10_topologies;
+pub mod x11_gathering_topo;
 pub mod x1_cheap;
 pub mod x2_fast;
 pub mod x3_relabel;

@@ -1,8 +1,9 @@
 //! Multi-process sweep sharding for the experiments binary.
 //!
 //! One experiment run performs a deterministic *sequence* of adversarial
-//! sweeps (every [`common::sweep_worst`](crate::common::sweep_worst)
-//! call). Sharding splits each sweep in that sequence across `m`
+//! sweeps (every [`common::sweep_recorded`](crate::common::sweep_recorded)
+//! call — the pair grids of X1–X8 and the gathering fleet grids of X9
+//! alike). Sharding splits each sweep in that sequence across `m`
 //! independent processes and reassembles the exact single-process result:
 //!
 //! 1. **Shard pass** (`experiments --shard i/m --emit-shard`, run once per
@@ -15,9 +16,10 @@
 //!    ledger instead of executing — producing output byte-identical to an
 //!    unsharded run.
 //!
-//! Topology sweeps (`x10`) ride the same pipeline: each ledger carries a
-//! parallel `topo` section of per-sweep [`TopoStats`] partials with its
-//! own call-order cursor, merged position-wise with [`TopoStats::merge`].
+//! Topology sweeps (`x10` and the gathering sweep `x11`) ride the same
+//! pipeline: each ledger carries a parallel `topo` section of per-sweep
+//! [`TopoStats`] partials with its own call-order cursor, merged
+//! position-wise with [`TopoStats::merge`].
 //!
 //! The mode lives in a process-wide session (the experiments binary is
 //! single-threaded at the sweep-sequence level, and sweeps themselves may
@@ -43,8 +45,10 @@ pub struct SweepRecord {
 }
 
 /// One **topology** sweep's entry in a shard ledger — the topo analogue
-/// of [`SweepRecord`], produced by `x10`'s `sweep_topo_worst` calls and
-/// carried through the same emission/merge/replay pipeline.
+/// of [`SweepRecord`], produced by the
+/// [`common::sweep_topo_recorded`](crate::common::sweep_topo_recorded)
+/// calls of X10/X11 and carried through the same emission/merge/replay
+/// pipeline.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TopoRecord {
     /// Total (spec × scenario) size of the swept `TopoGrid`.
@@ -455,6 +459,7 @@ mod tests {
                 failures: 0,
                 max_time: 0,
                 max_cost: 0,
+                merges: 0,
                 time_violations: 0,
                 cost_violations: 0,
                 worst_time: None,

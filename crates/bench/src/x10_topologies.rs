@@ -17,7 +17,6 @@
 //! is byte-identical to a direct one (CI-checked).
 
 use crate::common::{markdown_table, standard_delays, standard_label_pairs};
-use crate::sharding::{self, TopoPlan, TopoRecord};
 use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{spec_explorer, Explorer};
 use rendezvous_graph::{ErdosRenyiSpec, GraphSpec, RegularSpec, RingSpec, SeededSpec, TorusSpec};
@@ -160,10 +159,9 @@ pub fn build_topo_grid(
     (topo, Arc::new(explorers))
 }
 
-/// Sweeps one algorithm over the topo grid, honoring an active sharding
-/// session (shard → partial stats recorded to the topo ledger; merge →
-/// replayed stats), exactly like `common::sweep_worst` does for scenario
-/// sweeps.
+/// Sweeps one algorithm over the topo grid through the shared
+/// [`common::sweep_topo_recorded`](crate::common::sweep_topo_recorded)
+/// shard/replay path, asserting the paper's bounds held everywhere.
 ///
 /// # Panics
 ///
@@ -171,33 +169,7 @@ pub fn build_topo_grid(
 /// bounds (`TopoStats::clean`), or — in replay mode — if the merged
 /// ledger came from a different sweep.
 fn sweep_topo_worst(topo: &TopoGrid, exec: &AlgoTopoExecutor, runner: &Runner) -> TopoStats {
-    let stats = match sharding::plan_topo_sweep() {
-        TopoPlan::Full => runner
-            .sweep_topo(topo, exec)
-            .unwrap_or_else(|e| panic!("topology sweep failed: {e}")),
-        TopoPlan::Shard { shard, of } => {
-            let stats = runner
-                .sweep_topo_shard(topo, shard, of, exec)
-                .unwrap_or_else(|e| panic!("topology shard sweep failed: {e}"));
-            sharding::record_topo_sweep(TopoRecord {
-                size: topo.size(),
-                stats: stats.clone(),
-            });
-            stats
-        }
-        TopoPlan::Replay(record) => {
-            assert_eq!(
-                record.size,
-                topo.size(),
-                "merged topo ledger out of step with this run (recorded a \
-                 {}-scenario topo grid, expected {}) — shard and merge runs \
-                 must use identical experiment selections and flags",
-                record.size,
-                topo.size()
-            );
-            record.stats
-        }
-    };
+    let stats = crate::common::sweep_topo_recorded(topo, exec, runner);
     assert!(
         stats.clean(),
         "paper bounds broken on a sampled topology: {} failures, {} violations",

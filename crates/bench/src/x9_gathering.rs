@@ -6,12 +6,17 @@
 //! predicts completion within `(k−1)` pairwise-bound windows. Expected
 //! shape: rounds grow at most linearly in `k`, never exceeding
 //! `(k−1) · (two-agent time bound + max delay)`.
+//!
+//! Since the `Scenario` redesign, X9 runs **through the Runner's grid
+//! path**: each fleet size is a [`Grid`] in fleet mode (the standard
+//! [`FleetRule`] spread × a delay-phase axis), executed by the
+//! [`GatheringExecutor`] and folded into [`SweepStats`] — which means
+//! gathering sweeps shard, merge and replay through the ledger exactly
+//! like the adversarial pair sweeps of X1–X8.
 
-use crate::common::ring_setup;
-use rendezvous_core::{gathering_fleet, Fast, LabelSpace, RendezvousAlgorithm};
-use rendezvous_graph::NodeId;
-use rendezvous_runner::Runner;
-use rendezvous_sim::gathering::run_gathering;
+use crate::common::{ring_setup, sweep_recorded};
+use rendezvous_core::{Fast, LabelSpace, RendezvousAlgorithm};
+use rendezvous_runner::{FleetRule, GatheringExecutor, Grid, Runner, SweepStats};
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -22,19 +27,38 @@ pub struct Row {
     pub n: usize,
     /// Fleet size.
     pub k: usize,
-    /// Rounds until all agents shared a node.
+    /// Delay-phase scenarios swept for this fleet size.
+    pub scenarios: usize,
+    /// Worst rounds-to-gather anywhere in the sweep (`max_time`).
     pub rounds: u64,
-    /// The merge-and-restart bound `(k−1)·(time bound + max delay)`.
+    /// The loosest merge-and-restart bound `(k−1)·(time bound + max
+    /// delay)` over the sweep's scenarios. Every run met its own
+    /// (possibly tighter) bound, so `rounds ≤ bound` always holds.
     pub bound: u64,
-    /// Total edge traversals.
+    /// The worst `rounds / bound` ratio, rendered as `rounds/bound` (the
+    /// bound varies per scenario with the delays, so a single number
+    /// would lie) — same semantics as the X11 column.
+    pub ratio: String,
+    /// Worst total edge traversals anywhere in the sweep.
     pub cost: u64,
-    /// Number of merge events observed (cluster-count decreases).
-    pub merges: usize,
+    /// Cluster-merge events observed across the sweep (0-based: a run
+    /// with no cluster-count decrease contributes nothing).
+    pub merges: u64,
+}
+
+/// The delay-phase axis of one X9 sweep: each phase shifts the whole
+/// stagger pattern through the rule's modulus, so every agent's wake-up
+/// moves — the fleet analogue of the pair sweeps' delay axis.
+#[must_use]
+pub fn standard_phases() -> Vec<u64> {
+    vec![0, 3, 9]
 }
 
 /// Runs gatherings of increasing fleet size on an `n`-ring with label
-/// space `L` (labels and starts spread deterministically; staggered
-/// wake-ups).
+/// space `L` (labels and starts spread deterministically by the standard
+/// [`FleetRule`]; wake-ups staggered, swept over
+/// [`standard_phases`]). One grid sweep per fleet size, through the
+/// shared shard/replay path.
 ///
 /// # Panics
 ///
@@ -45,36 +69,64 @@ pub fn run(n: usize, l: u64, ks: &[usize], runner: &Runner) -> Vec<Row> {
     let (g, ex) = ring_setup(n);
     let space = LabelSpace::new(l).expect("l >= 2");
     let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(g.clone(), ex, space));
-    runner.map(ks.to_vec(), |_, k| {
-        assert!(k >= 2 && k <= n && (k as u64) <= l, "fleet must fit");
-        let placements: Vec<(u64, NodeId, u64)> = (0..k)
-            .map(|i| {
-                let label = 1 + (i as u64 * (l - 1)) / (k as u64 - 1).max(1);
-                let start = NodeId::new(i * n / k);
-                let delay = (7 * i as u64) % 13;
-                (label, start, delay)
-            })
-            .collect();
-        let max_delay = placements.iter().map(|p| p.2).max().unwrap_or(0);
-        let bound = (k as u64 - 1) * (alg.time_bound() + max_delay);
-        let fleet = gathering_fleet(&alg, &placements).expect("valid placements");
-        let out = run_gathering(&g, fleet, 4 * bound).expect("engine ok");
-        assert!(out.gathered_all(), "gathering must complete (k = {k})");
-        let merges = out
-            .cluster_history
-            .windows(2)
-            .filter(|w| w[1] < w[0])
-            .count()
-            + 1; // the initial k clusters count as the baseline
-        Row {
-            n,
-            k,
-            rounds: out.rounds_executed,
-            bound,
-            cost: out.cost(),
-            merges,
-        }
-    })
+    let executor = GatheringExecutor::new(Arc::clone(&alg));
+    let rule = FleetRule::spread(&g, l);
+    ks.iter()
+        .map(|&k| {
+            assert!(k >= 2 && k <= n && (k as u64) <= l, "fleet must fit");
+            // The loosest phase yields the largest stagger delay; a
+            // horizon of 4× that bound is generous for every phase in
+            // the axis.
+            let worst_bound = (k as u64 - 1) * (alg.time_bound() + rule.max_delay());
+            let grid = Grid::new(4 * worst_bound)
+                .fleet_sizes(&[k])
+                .fleet_rule(rule.clone())
+                .delays(&standard_phases());
+            // The loosest per-scenario bound actually in the sweep (the
+            // phases never reach the stagger's full modulus, so this is
+            // tighter than `worst_bound`); identical in direct, shard
+            // and replay runs, since all rebuild the same grid.
+            let loosest = grid
+                .scenarios()
+                .iter()
+                .map(|s| executor.merge_restart_bound(s))
+                .max()
+                .expect("non-empty fleet grid");
+            let stats = sweep_recorded(&format!("x9 k={k}"), &grid, &executor, None, runner);
+            row(n, k, loosest, &stats)
+        })
+        .collect()
+}
+
+/// Builds one table row from a fleet sweep's aggregates, asserting the
+/// merge-and-restart guarantee held on every sampled scenario. The
+/// stats may be a shard's **partial** fold (possibly empty — a shard of
+/// a 3-scenario grid is legitimately empty for m > 3), whose rows are
+/// never emitted; the ratio cell is `-` when no outcome carried one.
+fn row(n: usize, k: usize, loosest_bound: u64, stats: &SweepStats) -> Row {
+    assert_eq!(
+        stats.failures, 0,
+        "gathering must complete (k = {k}): {} of {} timed out",
+        stats.failures, stats.executed
+    );
+    assert_eq!(
+        stats.time_violations, 0,
+        "merge-and-restart bound broken for k = {k}"
+    );
+    let ratio = stats
+        .worst_ratio
+        .as_ref()
+        .map_or_else(|| "-".into(), |w| format!("{}/{}", w.time, w.time_bound));
+    Row {
+        n,
+        k,
+        scenarios: stats.executed,
+        rounds: stats.max_time,
+        bound: loosest_bound,
+        ratio,
+        cost: stats.max_cost,
+        merges: stats.merges,
+    }
 }
 
 /// Renders the table.
@@ -83,9 +135,11 @@ pub fn render(rows: &[Row]) -> String {
     let header = [
         "n",
         "k",
-        "rounds",
+        "scenarios",
+        "worst rounds",
         "bound (k-1)(T+d)",
-        "cost",
+        "worst r/bound",
+        "worst cost",
         "merge events",
     ];
     let body = rows
@@ -94,8 +148,10 @@ pub fn render(rows: &[Row]) -> String {
             vec![
                 r.n.to_string(),
                 r.k.to_string(),
+                r.scenarios.to_string(),
                 r.rounds.to_string(),
                 r.bound.to_string(),
+                r.ratio.clone(),
                 r.cost.to_string(),
                 r.merges.to_string(),
             ]
@@ -113,8 +169,78 @@ mod tests {
         let rows = run(12, 32, &[2, 3, 5], &Runner::with_threads(3));
         for r in &rows {
             assert!(r.rounds <= r.bound, "k={}: {} > {}", r.k, r.rounds, r.bound);
+            assert_eq!(r.scenarios, standard_phases().len());
+            // Every completed run needs at least one merge event (it must
+            // reach a single cluster); a round can merge several clusters
+            // at once, so k−1 per run is not guaranteed.
+            assert!(
+                r.merges >= r.scenarios as u64,
+                "k={}: {} merge events over {} gatherings",
+                r.k,
+                r.merges,
+                r.scenarios
+            );
         }
         // more agents may take longer but never superlinearly
         assert!(rows[2].rounds <= 4 * rows[0].bound);
+    }
+
+    /// Regression (satellite of the fleet redesign): the merge count is
+    /// 0-based. A two-agent gathering whose pair meets exactly once must
+    /// report exactly one merge event per swept scenario — the old
+    /// `windows(2) + 1` count reported two, and reported one for runs
+    /// with no cluster-count decrease at all.
+    #[test]
+    fn x9_merge_count_is_zero_based() {
+        let rows = run(8, 8, &[2], &Runner::sequential());
+        let r = &rows[0];
+        assert_eq!(
+            r.merges, r.scenarios as u64,
+            "a pair gathers with exactly one merge event per scenario"
+        );
+    }
+
+    /// Regression: a shard run can hand `row()` a **partial** (even
+    /// empty) fold — for m > 3 some shard of every 3-scenario per-k grid
+    /// executes nothing. The old code `expect`ed a ratio witness and
+    /// crashed the shard emission; partial rows (which are never
+    /// emitted) must build cleanly instead.
+    #[test]
+    fn x9_rows_tolerate_empty_shard_partials() {
+        let empty = SweepStats::default();
+        let r = row(12, 4, 858, &empty);
+        assert_eq!(r.ratio, "-");
+        assert_eq!((r.scenarios, r.rounds, r.cost, r.merges), (0, 0, 0, 0));
+    }
+
+    /// X9 rides the shard ledger now: a 3-shard split of the same run
+    /// merges back to the identical table rows.
+    #[test]
+    fn x9_shard_merge_reproduces_the_direct_rows() {
+        use rendezvous_runner::SweepStats;
+        let (n, l, ks) = (9, 16, [2usize, 3]);
+        let (g, ex) = ring_setup(n);
+        let space = LabelSpace::new(l).unwrap();
+        let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(g.clone(), ex, space));
+        let executor = GatheringExecutor::new(Arc::clone(&alg));
+        let rule = FleetRule::spread(&g, l);
+        for &k in &ks {
+            let worst_bound = (k as u64 - 1) * (alg.time_bound() + rule.max_delay());
+            let grid = Grid::new(4 * worst_bound)
+                .fleet_sizes(&[k])
+                .fleet_rule(rule.clone())
+                .delays(&standard_phases());
+            let direct = Runner::sequential()
+                .sweep(&executor, &grid.scenarios())
+                .unwrap();
+            let mut merged = SweepStats::default();
+            for i in 0..3 {
+                let shard = Runner::sequential()
+                    .sweep_shard(&executor, &grid.shard(i, 3), None)
+                    .unwrap();
+                merged = merged.merge(&shard);
+            }
+            assert_eq!(merged, direct, "k = {k}");
+        }
     }
 }

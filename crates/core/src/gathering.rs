@@ -111,19 +111,37 @@ impl GatheringBehavior for GatheringAgent {
         let newcomers = co_located.iter().any(|l| !self.group.contains(l));
         if newcomers {
             self.group.extend(co_located.iter().copied());
-            let effective = Label::new(self.effective_label()).expect("labels are positive");
-            let position = self.behavior.position();
             // Everyone at this node computes the same group, the same
             // effective label and the same restart round: lockstep holds.
-            self.behavior = ScheduleBehavior::new(
-                Arc::clone(self.algorithm.graph()),
-                self.algorithm
-                    .schedule(effective)
-                    .expect("group labels are in the space"),
-                position,
-            );
+            self.restart();
+        } else if self.behavior.exhausted() {
+            // The schedule ran out without the whole fleet assembling:
+            // re-run it from the current position. A cluster that simply
+            // stopped would be permanently inert — and two inert clusters
+            // can never meet, livelocking the gathering (observed on
+            // small rings once the fleet sweeps widened the
+            // configuration space). Cluster members share identical
+            // behavior state, so every member exhausts and re-runs in
+            // the same round and lockstep is preserved.
+            self.restart();
         }
         self.behavior.next_action(observation)
+    }
+}
+
+impl GatheringAgent {
+    /// (Re)starts the two-agent schedule of the cluster's effective label
+    /// from the agent's current position.
+    fn restart(&mut self) {
+        let effective = Label::new(self.effective_label()).expect("labels are positive");
+        let position = self.behavior.position();
+        self.behavior = ScheduleBehavior::new(
+            Arc::clone(self.algorithm.graph()),
+            self.algorithm
+                .schedule(effective)
+                .expect("group labels are in the space"),
+            position,
+        );
     }
 }
 

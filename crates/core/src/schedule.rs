@@ -222,6 +222,19 @@ impl ScheduleBehavior {
         self.position
     }
 
+    /// Returns `true` once every phase has been executed — from then on
+    /// [`next_action`](AgentBehavior::next_action) answers [`Action::Stay`]
+    /// forever. Two-agent runs never observe this (the paper's algorithms
+    /// meet within their schedules), but gathering fleets must: a cluster
+    /// whose schedule ran out without the fleet assembling has to re-run
+    /// it, or it goes permanently inert (see
+    /// [`GatheringAgent`](crate::GatheringAgent)).
+    #[must_use]
+    pub fn exhausted(&mut self) -> bool {
+        self.settle();
+        self.phase_idx >= self.schedule.phases().len()
+    }
+
     /// Skips zero-length phases and starts runs lazily.
     fn settle(&mut self) {
         while let Some(phase) = self.schedule.phases().get(self.phase_idx) {

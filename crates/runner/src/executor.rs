@@ -109,32 +109,51 @@ impl<'a> AlgorithmExecutor<'a> {
 
 impl Executor for AlgorithmExecutor<'_> {
     fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError> {
+        require_pair(scenario, "AlgorithmExecutor")?;
         let graph = self.algorithm.graph();
         let a = ScheduleBehavior::with_shared(
             Arc::clone(graph),
-            self.schedule(scenario.first_label)?,
-            scenario.start_a,
+            self.schedule(scenario.first_label())?,
+            scenario.start_a(),
         );
         let b = ScheduleBehavior::with_shared(
             Arc::clone(graph),
-            self.schedule(scenario.second_label)?,
-            scenario.start_b,
+            self.schedule(scenario.second_label())?,
+            scenario.start_b(),
         );
         let outcome = Simulation::new(graph)
-            .agent(Box::new(a), AgentSpec::immediate(scenario.start_a))
+            .agent(
+                Box::new(a),
+                AgentSpec::delayed(scenario.start_a(), scenario.first().delay),
+            )
             .agent(
                 Box::new(b),
-                AgentSpec::delayed(scenario.start_b, scenario.delay),
+                AgentSpec::delayed(scenario.start_b(), scenario.delay()),
             )
             .max_rounds(scenario.horizon)
             .meeting_condition(MeetingCondition::FirstPair)
             .run()?;
-        Ok(ScenarioOutcome {
-            scenario: *scenario,
-            time: outcome.time(),
-            cost: outcome.cost(),
-            crossings: outcome.crossings(),
-        })
+        Ok(ScenarioOutcome::pairwise(
+            scenario.clone(),
+            outcome.time(),
+            outcome.cost(),
+            outcome.crossings(),
+        ))
+    }
+}
+
+/// Rejects non-pair scenarios on inherently pairwise executors with an
+/// error naming the executor, instead of silently ignoring placements
+/// beyond the first two.
+fn require_pair(scenario: &Scenario, who: &str) -> Result<(), RunnerError> {
+    if scenario.is_pair() {
+        Ok(())
+    } else {
+        Err(RunnerError::new(format!(
+            "{who} runs two-agent rendezvous but the scenario places {} agents; \
+             use GatheringExecutor for fleets",
+            scenario.k()
+        )))
     }
 }
 
@@ -168,17 +187,80 @@ where
     F: Fn(&Scenario) -> BehaviorPair<'a> + Sync,
 {
     fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError> {
+        require_pair(scenario, "FactoryExecutor")?;
         let (a, b) = (self.factory)(scenario);
         let outcome = Simulation::new(self.graph)
-            .agent(a, AgentSpec::immediate(scenario.start_a))
-            .agent(b, AgentSpec::delayed(scenario.start_b, scenario.delay))
+            .agent(
+                a,
+                AgentSpec::delayed(scenario.start_a(), scenario.first().delay),
+            )
+            .agent(b, AgentSpec::delayed(scenario.start_b(), scenario.delay()))
             .max_rounds(scenario.horizon)
             .run()?;
+        Ok(ScenarioOutcome::pairwise(
+            scenario.clone(),
+            outcome.time(),
+            outcome.cost(),
+            outcome.crossings(),
+        ))
+    }
+}
+
+/// Executes **fleet** scenarios (`k ≥ 2`) as gatherings: every placement
+/// becomes a merge-and-restart [`GatheringAgent`](rendezvous_core::GatheringAgent)
+/// running `algorithm`, driven by
+/// [`run_gathering`](rendezvous_sim::gathering::run_gathering) until all
+/// `k` agents share a node or the horizon elapses.
+///
+/// Each outcome carries the merge-and-restart analytic bound
+/// `(k−1) · (time bound + max delay)` as its per-scenario
+/// [`time_bound`](crate::ScenarioOutcome::time_bound), so
+/// [`SweepStats`](crate::SweepStats) and
+/// [`TopoStats`](crate::TopoStats) judge violations and the worst
+/// rounds/bound ratio against the bound that actually applies to that
+/// fleet — a sweep-level [`Bounds`](crate::Bounds) pair cannot express
+/// it.
+pub struct GatheringExecutor {
+    algorithm: Arc<dyn RendezvousAlgorithm>,
+}
+
+impl GatheringExecutor {
+    /// Wraps the two-agent algorithm the fleet members run pairwise.
+    #[must_use]
+    pub fn new(algorithm: Arc<dyn RendezvousAlgorithm>) -> Self {
+        GatheringExecutor { algorithm }
+    }
+
+    /// The merge-and-restart bound `(k−1) · (time bound + max delay)` of
+    /// one fleet scenario under this executor's algorithm.
+    #[must_use]
+    pub fn merge_restart_bound(&self, scenario: &Scenario) -> u64 {
+        (scenario.k() as u64 - 1) * (self.algorithm.time_bound() + scenario.max_delay())
+    }
+}
+
+impl Executor for GatheringExecutor {
+    fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError> {
+        let placements: Vec<(u64, rendezvous_graph::NodeId, u64)> = scenario
+            .placements
+            .iter()
+            .map(|p| (p.label, p.start, p.delay))
+            .collect();
+        let fleet = rendezvous_core::gathering_fleet(&self.algorithm, &placements)?;
+        let out = rendezvous_sim::gathering::run_gathering(
+            self.algorithm.graph(),
+            fleet,
+            scenario.horizon,
+        )?;
         Ok(ScenarioOutcome {
-            scenario: *scenario,
-            time: outcome.time(),
-            cost: outcome.cost(),
-            crossings: outcome.crossings(),
+            scenario: scenario.clone(),
+            time: out.gathered.as_ref().map(|m| m.round),
+            cost: out.cost(),
+            // The gathering engine does not track edge crossings — they
+            // are a two-agent-meeting diagnostic.
+            crossings: 0,
+            time_bound: Some(self.merge_restart_bound(scenario)),
+            merges: out.merge_events() as u64,
         })
     }
 }

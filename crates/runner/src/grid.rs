@@ -1,11 +1,130 @@
 //! Declarative enumeration of adversarial sweeps.
 
-use crate::Scenario;
+use crate::{Placement, Scenario};
 use rendezvous_graph::{NodeId, PortLabeledGraph};
 
-/// Builder for an adversarial configuration sweep: ordered label pairs ×
-/// ordered distinct start pairs × wake-up delays, each combination becoming
-/// one [`Scenario`].
+/// The deterministic placement-spreading rule of a fleet sweep: given a
+/// fleet size `k`, a start rotation and a delay phase, it lays `k` agents
+/// out over the graph — labels spread evenly across `{1, …, L}`, starts
+/// spread evenly over the `n` nodes (rotated by the rotation axis), and
+/// wake-up delays staggered by a linear congruence
+/// `(stride · i + phase) mod modulus`.
+///
+/// The rule is what turns the [`Grid`]'s scalar fleet axes (sizes ×
+/// rotations × delay phases) into full k-agent [`Scenario`]s while
+/// keeping enumeration index-stable: the same `(k, rotation, phase)`
+/// always produces the same placements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetRule {
+    /// Node count of the graph the placements spread over.
+    nodes: usize,
+    /// Size of the label space placements draw from (labels `1..=L`).
+    label_space: u64,
+    /// Delay stagger stride (`delay_i = (stride·i + phase) % modulus`).
+    delay_stride: u64,
+    /// Delay stagger modulus (`> 0`).
+    delay_modulus: u64,
+}
+
+impl FleetRule {
+    /// The standard spreading rule over `graph` with label space `L` and
+    /// the X9 stagger `(7·i) mod 13`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label_space < 2` — a fleet needs two distinct labels.
+    #[must_use]
+    pub fn spread(graph: &PortLabeledGraph, label_space: u64) -> Self {
+        assert!(
+            label_space >= 2,
+            "label space of size {label_space} cannot hold two distinct labels"
+        );
+        FleetRule {
+            nodes: graph.node_count(),
+            label_space,
+            delay_stride: 7,
+            delay_modulus: 13,
+        }
+    }
+
+    /// Overrides the delay stagger: agent `i` sleeps
+    /// `(stride·i + phase) mod modulus` rounds, where `phase` comes from
+    /// the grid's delay axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `modulus == 0`.
+    #[must_use]
+    pub fn stagger(mut self, stride: u64, modulus: u64) -> Self {
+        assert!(modulus > 0, "delay stagger modulus must be positive");
+        self.delay_stride = stride;
+        self.delay_modulus = modulus;
+        self
+    }
+
+    /// The largest fleet this rule can place: every agent needs its own
+    /// start node and its own label.
+    #[must_use]
+    pub fn max_fleet(&self) -> usize {
+        let by_labels = usize::try_from(self.label_space).unwrap_or(usize::MAX);
+        self.nodes.min(by_labels)
+    }
+
+    /// The largest wake-up delay this rule's stagger can ever produce
+    /// (`modulus − 1`) — what horizon and loosest-bound calculations
+    /// should be sized against instead of hardcoding the default
+    /// stagger's 12.
+    #[must_use]
+    pub fn max_delay(&self) -> u64 {
+        self.delay_modulus - 1
+    }
+
+    /// Lays out a `k`-agent fleet: distinct labels spread over
+    /// `{1, …, L}`, distinct starts spread over the nodes (shifted by
+    /// `rotation`), staggered delays shifted by `phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` or `k > self.max_fleet()` (the spread cannot
+    /// keep labels and starts distinct beyond that).
+    #[must_use]
+    pub fn placements(&self, k: usize, rotation: usize, phase: u64) -> Vec<Placement> {
+        assert!(
+            k >= 2 && k <= self.max_fleet(),
+            "fleet of {k} does not fit {} nodes / {} labels",
+            self.nodes,
+            self.label_space
+        );
+        let l = self.label_space;
+        (0..k)
+            .map(|i| Placement {
+                // Evenly spread over {1, …, L}: agent 0 gets 1, the last
+                // agent gets L, intermediate agents interpolate. Strictly
+                // increasing because k ≤ L.
+                label: 1 + (i as u64 * (l - 1)) / (k as u64 - 1).max(1),
+                // Evenly spread over the n nodes, rotated; ⌊i·n/k⌋ takes k
+                // distinct values in 0..n because k ≤ n, and the rotation
+                // is a bijection mod n, so starts stay pairwise distinct.
+                start: NodeId::new((i * self.nodes / k + rotation) % self.nodes),
+                delay: (self.delay_stride * i as u64 + phase) % self.delay_modulus,
+            })
+            .collect()
+    }
+}
+
+/// Builder for an adversarial configuration sweep, in one of two modes:
+///
+/// * **pair mode** (the default): ordered label pairs × ordered distinct
+///   start pairs × wake-up delays, each combination becoming one
+///   two-agent [`Scenario`];
+/// * **fleet mode** ([`Grid::fleet_sizes`]): fleet sizes × start
+///   rotations × delay phases, each combination expanded into a k-agent
+///   [`Scenario`] by the grid's [`FleetRule`].
+///
+/// The two modes are mutually exclusive; pair-mode enumeration, the
+/// sampling cap and [`Grid::shard`] are bit-for-bit unchanged by the
+/// existence of fleet mode (regression-tested below), so pair sweeps
+/// produce byte-identical outputs either way.
 ///
 /// For spaces too large to exhaust, [`Grid::sample_cap`] keeps a
 /// deterministic evenly-strided subsample — the same cap always selects
@@ -19,6 +138,12 @@ pub struct Grid {
     start_pairs: Vec<(NodeId, NodeId)>,
     delays: Vec<u64>,
     cap: Option<usize>,
+    /// Fleet mode: the `k` axis (empty = pair mode).
+    fleet_sizes: Vec<usize>,
+    /// Fleet mode: how placements spread for a given `(k, rotation, phase)`.
+    fleet_rule: Option<FleetRule>,
+    /// Fleet mode: the start-rotation axis (default `[0]`).
+    rotations: Vec<usize>,
 }
 
 impl Grid {
@@ -31,12 +156,19 @@ impl Grid {
             start_pairs: Vec::new(),
             delays: vec![0],
             cap: None,
+            fleet_sizes: Vec::new(),
+            fleet_rule: None,
+            rotations: vec![0],
         }
     }
 
     /// Adds ordered label pairs exactly as given (first agent gets `.0`).
     #[must_use]
     pub fn label_pairs_ordered(mut self, pairs: &[(u64, u64)]) -> Self {
+        assert!(
+            self.fleet_sizes.is_empty(),
+            "label pairs are a pair-mode axis; this grid sweeps fleets"
+        );
         self.label_pairs.extend_from_slice(pairs);
         self
     }
@@ -45,6 +177,10 @@ impl Grid {
     /// also chooses *which* agent is woken first.
     #[must_use]
     pub fn label_pairs_both_orders(mut self, pairs: &[(u64, u64)]) -> Self {
+        assert!(
+            self.fleet_sizes.is_empty(),
+            "label pairs are a pair-mode axis; this grid sweeps fleets"
+        );
         for &(a, b) in pairs {
             self.label_pairs.push((a, b));
             self.label_pairs.push((b, a));
@@ -55,6 +191,10 @@ impl Grid {
     /// Sweeps all ordered pairs of distinct start nodes of `graph`.
     #[must_use]
     pub fn all_start_pairs(mut self, graph: &PortLabeledGraph) -> Self {
+        assert!(
+            self.fleet_sizes.is_empty(),
+            "start pairs are a pair-mode axis; this grid sweeps fleets"
+        );
         let n = graph.node_count();
         self.start_pairs.reserve(n * n.saturating_sub(1));
         for a in 0..n {
@@ -75,15 +215,63 @@ impl Grid {
     /// below).
     #[must_use]
     pub fn start_pairs(mut self, pairs: &[(NodeId, NodeId)]) -> Self {
+        assert!(
+            self.fleet_sizes.is_empty(),
+            "start pairs are a pair-mode axis; this grid sweeps fleets"
+        );
         self.start_pairs
             .extend(pairs.iter().copied().filter(|(a, b)| a != b));
         self
     }
 
-    /// Sets the wake-up delays applied to the second agent (default `[0]`).
+    /// Sets the wake-up delays applied to the second agent (default
+    /// `[0]`). In fleet mode the same axis supplies the delay *phases*
+    /// fed to the [`FleetRule`]'s stagger.
     #[must_use]
     pub fn delays(mut self, delays: &[u64]) -> Self {
         self.delays = delays.to_vec();
+        self
+    }
+
+    /// Switches the grid into **fleet mode**, sweeping the given fleet
+    /// sizes `k`. Requires a [`Grid::fleet_rule`] before enumeration and
+    /// excludes the pair-mode axes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pair-mode axes were already configured, or any `k < 2`.
+    #[must_use]
+    pub fn fleet_sizes(mut self, sizes: &[usize]) -> Self {
+        assert!(
+            self.label_pairs.is_empty() && self.start_pairs.is_empty(),
+            "fleet sizes are a fleet-mode axis; this grid sweeps label/start pairs"
+        );
+        assert!(
+            sizes.iter().all(|&k| k >= 2),
+            "fleets place at least two agents: {sizes:?}"
+        );
+        self.fleet_sizes.extend_from_slice(sizes);
+        self
+    }
+
+    /// Sets the fleet placement-spreading rule (fleet mode only).
+    #[must_use]
+    pub fn fleet_rule(mut self, rule: FleetRule) -> Self {
+        self.fleet_rule = Some(rule);
+        self
+    }
+
+    /// Sets the start-rotation axis of fleet mode (default `[0]`): each
+    /// rotation shifts every spread start by that many nodes, so
+    /// asymmetric graphs contribute genuinely different placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rotations` is empty.
+    #[must_use]
+    pub fn fleet_rotations(mut self, rotations: &[usize]) -> Self {
+        assert!(!rotations.is_empty(), "rotation axis cannot be empty");
+        self.rotations = rotations.to_vec();
         self
     }
 
@@ -101,11 +289,19 @@ impl Grid {
     /// capped stride stays exact below the saturation point).
     #[must_use]
     pub fn full_size(&self) -> usize {
-        product_size(
-            self.label_pairs.len(),
-            self.start_pairs.len(),
-            self.delays.len(),
-        )
+        if self.fleet_sizes.is_empty() {
+            product_size(
+                self.label_pairs.len(),
+                self.start_pairs.len(),
+                self.delays.len(),
+            )
+        } else {
+            product_size(
+                self.fleet_sizes.len(),
+                self.rotations.len(),
+                self.delays.len(),
+            )
+        }
     }
 
     /// Number of scenarios [`Grid::scenarios`] will actually yield: the
@@ -119,21 +315,42 @@ impl Grid {
     }
 
     /// The scenario at flat index `index` of the **full** (pre-cap) space.
+    ///
+    /// Pair mode decomposes exactly as it always has (label pair outer →
+    /// start pair → delay inner), so the fleet generalization cannot
+    /// perturb existing sweeps; fleet mode decomposes fleet size outer →
+    /// rotation → delay phase inner, through the same arithmetic.
     fn nth(&self, index: usize) -> Scenario {
         let delay_i = index % self.delays.len();
         let rest = index / self.delays.len();
+        if let Some(rule) = &self.fleet_rule {
+            if !self.fleet_sizes.is_empty() {
+                let rot_i = rest % self.rotations.len();
+                let fleet_i = rest / self.rotations.len();
+                let placements = rule.placements(
+                    self.fleet_sizes[fleet_i],
+                    self.rotations[rot_i],
+                    self.delays[delay_i],
+                );
+                return Scenario::fleet(placements, self.horizon);
+            }
+        }
+        assert!(
+            self.fleet_sizes.is_empty(),
+            "fleet sizes configured without a fleet rule"
+        );
         let start_i = rest % self.start_pairs.len();
         let label_i = rest / self.start_pairs.len();
         let (first_label, second_label) = self.label_pairs[label_i];
         let (start_a, start_b) = self.start_pairs[start_i];
-        Scenario {
+        Scenario::pair(
             first_label,
             second_label,
             start_a,
             start_b,
-            delay: self.delays[delay_i],
-            horizon: self.horizon,
-        }
+            self.delays[delay_i],
+            self.horizon,
+        )
     }
 
     /// The scenario at post-cap index `i` — identical to
@@ -266,13 +483,13 @@ mod tests {
         // All distinct.
         let mut seen = std::collections::HashSet::new();
         for s in &scenarios {
-            assert!(s.start_a != s.start_b);
+            assert!(s.start_a() != s.start_b());
             assert_eq!(s.horizon, 100);
-            assert!(seen.insert(*s));
+            assert!(seen.insert(s.clone()));
         }
         // Both label orders present.
-        assert!(scenarios.iter().any(|s| s.first_label == 1));
-        assert!(scenarios.iter().any(|s| s.first_label == 2));
+        assert!(scenarios.iter().any(|s| s.first_label() == 1));
+        assert!(scenarios.iter().any(|s| s.first_label() == 2));
     }
 
     #[test]
@@ -287,7 +504,7 @@ mod tests {
             assert!(full.contains(s), "sampled scenario outside the space");
         }
         // No duplicates in the sample.
-        let dedup: std::collections::HashSet<_> = a.iter().copied().collect();
+        let dedup: std::collections::HashSet<_> = a.iter().cloned().collect();
         assert_eq!(dedup.len(), a.len());
     }
 
@@ -344,7 +561,7 @@ mod tests {
         ]);
         let scenarios = grid.scenarios();
         assert_eq!(scenarios.len(), 2, "both degenerate pairs dropped");
-        assert!(scenarios.iter().all(|s| s.start_a != s.start_b));
+        assert!(scenarios.iter().all(|s| s.start_a() != s.start_b()));
         // The all-degenerate case leaves an empty (zero-scenario) grid.
         let empty = Grid::new(10)
             .label_pairs_ordered(&[(1, 2)])
@@ -407,12 +624,128 @@ mod tests {
         // which also proves every sampled index is distinct and in space.
         let mut last_label = 0;
         for s in &sampled {
-            assert!(s.first_label >= last_label, "stride went backwards");
-            last_label = s.first_label;
+            assert!(s.first_label() >= last_label, "stride went backwards");
+            last_label = s.first_label();
         }
-        assert_eq!(sampled[0].first_label, 1, "index 0 must be included");
+        assert_eq!(sampled[0].first_label(), 1, "index 0 must be included");
         // Strides spread over the whole space, not just a wrapped prefix.
-        assert!(sampled.last().unwrap().first_label > (1 << 17) - 2);
+        assert!(sampled.last().unwrap().first_label() > (1 << 17) - 2);
+    }
+
+    fn fleet_grid(ks: &[usize]) -> Grid {
+        let g = generators::oriented_ring(12).unwrap();
+        Grid::new(400)
+            .fleet_sizes(ks)
+            .fleet_rule(FleetRule::spread(&g, 32))
+            .fleet_rotations(&[0, 3])
+            .delays(&[0, 5])
+    }
+
+    #[test]
+    fn fleet_mode_enumerates_sizes_by_rotations_by_phases() {
+        let grid = fleet_grid(&[2, 3, 5]);
+        let scenarios = grid.scenarios();
+        assert_eq!(grid.full_size(), 3 * 2 * 2);
+        assert_eq!(scenarios.len(), 12);
+        // Fleet size is the outer axis, phases the inner one.
+        assert_eq!(scenarios[0].k(), 2);
+        assert_eq!(scenarios[4].k(), 3);
+        assert_eq!(scenarios[8].k(), 5);
+        // All placements valid: distinct starts, distinct labels, k >= 2.
+        for s in &scenarios {
+            let mut starts: Vec<_> = s.placements.iter().map(|p| p.start).collect();
+            starts.sort_unstable();
+            starts.dedup();
+            assert_eq!(starts.len(), s.k(), "starts must be pairwise distinct");
+            let mut labels: Vec<_> = s.placements.iter().map(|p| p.label).collect();
+            labels.sort_unstable();
+            labels.dedup();
+            assert_eq!(labels.len(), s.k(), "labels must be pairwise distinct");
+            assert_eq!(s.horizon, 400);
+        }
+        // The zero-rotation, zero-phase placements reproduce the classic
+        // X9 spread exactly: label 1 + i(L-1)/(k-1), start ⌊i·n/k⌋,
+        // delay (7i) mod 13.
+        let s = &scenarios[0];
+        assert_eq!(s.placements[0].label, 1);
+        assert_eq!(s.placements[1].label, 32);
+        assert_eq!(s.placements[1].start.index(), 6);
+        assert_eq!(s.placements[1].delay, 7);
+        // Rotation shifts every start by the same offset, mod n.
+        let rotated = &scenarios[2];
+        assert_eq!(rotated.placements[0].start.index(), 3);
+        assert_eq!(rotated.placements[1].start.index(), 9);
+        // Phase shifts every delay through the stagger modulus.
+        let phased = &scenarios[1];
+        assert_eq!(phased.placements[0].delay, 5);
+        assert_eq!(phased.placements[1].delay, 12);
+    }
+
+    #[test]
+    fn fleet_shards_partition_exactly_like_pair_shards() {
+        let grid = fleet_grid(&[2, 3, 4, 5, 6]).sample_cap(13);
+        let whole = grid.scenarios();
+        assert_eq!(whole.len(), 13);
+        for of in [1usize, 2, 3, 7] {
+            let mut rebuilt: Vec<Scenario> = Vec::new();
+            for i in 0..of {
+                let shard = grid.shard(i, of);
+                assert_eq!(shard.offset, rebuilt.len());
+                rebuilt.extend(shard.scenarios);
+            }
+            assert_eq!(rebuilt, whole, "fleet shards ({of}) != full list");
+        }
+    }
+
+    /// A custom stagger rewires the delay congruence: agent `i` of any
+    /// fleet sleeps `(stride·i + phase) mod modulus` rounds.
+    #[test]
+    fn stagger_overrides_the_delay_congruence() {
+        let g = generators::oriented_ring(10).unwrap();
+        let rule = FleetRule::spread(&g, 16).stagger(5, 9);
+        let placements = rule.placements(4, 0, 2);
+        let delays: Vec<u64> = placements.iter().map(|p| p.delay).collect();
+        assert_eq!(delays, vec![2, 7, 3, 8], "(5·i + 2) mod 9");
+        // And through a grid: the phase axis feeds the custom congruence.
+        let grid = Grid::new(100)
+            .fleet_sizes(&[3])
+            .fleet_rule(FleetRule::spread(&g, 16).stagger(5, 9))
+            .delays(&[4]);
+        let s = &grid.scenarios()[0];
+        assert_eq!(
+            s.placements.iter().map(|p| p.delay).collect::<Vec<_>>(),
+            vec![4, 0, 5],
+            "(5·i + 4) mod 9"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "modulus must be positive")]
+    fn stagger_rejects_a_zero_modulus() {
+        let g = generators::oriented_ring(4).unwrap();
+        let _ = FleetRule::spread(&g, 4).stagger(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair-mode axis")]
+    fn fleet_and_pair_axes_are_mutually_exclusive() {
+        let g = generators::oriented_ring(6).unwrap();
+        let _ = Grid::new(10).fleet_sizes(&[2]).all_start_pairs(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet-mode axis")]
+    fn pair_axes_reject_fleet_grids_symmetrically() {
+        let _ = Grid::new(10)
+            .label_pairs_ordered(&[(1, 2)])
+            .fleet_sizes(&[2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn fleet_rule_rejects_fleets_larger_than_the_graph() {
+        let g = generators::oriented_ring(4).unwrap();
+        let _ = FleetRule::spread(&g, 32).placements(5, 0, 0);
     }
 
     /// Regression: the product space size saturates instead of wrapping

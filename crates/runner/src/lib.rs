@@ -7,11 +7,15 @@
 //! aggregate statistics. Before this crate, each experiment hand-rolled
 //! that sweep; now there is exactly one engine:
 //!
-//! * [`Scenario`] — one fully-specified two-agent execution
-//!   (labels, starts, wake-up delay, round budget);
-//! * [`Grid`] — declarative enumeration of an adversarial sweep
-//!   (label pairs × ordered start pairs × delays), with a deterministic
-//!   sampling cap for spaces too large to exhaust;
+//! * [`Scenario`] — one fully-specified `k ≥ 2`-agent execution: a list
+//!   of [`Placement`]s (label, start, wake-up delay) plus the round
+//!   budget. [`Scenario::pair`] builds the paper's two-agent case; fleet
+//!   scenarios drive the gathering generalization (§1.4);
+//! * [`Grid`] — declarative enumeration of an adversarial sweep: label
+//!   pairs × ordered start pairs × delays in pair mode, or fleet sizes ×
+//!   start rotations × delay phases (expanded by a [`FleetRule`]) in
+//!   fleet mode — either way with a deterministic sampling cap for
+//!   spaces too large to exhaust;
 //! * [`Runner`] — executes scenario batches, sequentially or across
 //!   threads, and folds [`ScenarioOutcome`]s into [`SweepStats`]. The fold
 //!   itself is always sequential in scenario order, so parallel and
@@ -66,9 +70,9 @@ mod scenario;
 mod stats;
 mod topo;
 
-pub use executor::{AlgorithmExecutor, Executor, FactoryExecutor, RunnerError};
-pub use grid::{Grid, ScenarioShard};
+pub use executor::{AlgorithmExecutor, Executor, FactoryExecutor, GatheringExecutor, RunnerError};
+pub use grid::{FleetRule, Grid, ScenarioShard};
 pub use runner::Runner;
-pub use scenario::{Scenario, ScenarioOutcome};
-pub use stats::{fold_outcomes, Bounds, SweepStats, WorstEntry};
+pub use scenario::{Placement, Scenario, ScenarioOutcome};
+pub use stats::{fold_outcomes, Bounds, RatioEntry, SweepStats, WorstEntry};
 pub use topo::{FamilyStats, TopoEntry, TopoExecutor, TopoGrid, TopoPiece, TopoStats, TopoWitness};

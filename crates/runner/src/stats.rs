@@ -16,7 +16,7 @@ pub struct Bounds {
 ///
 /// Ties are broken by the smallest scenario index, which makes the witness
 /// independent of execution order (and hence of parallelism).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorstEntry {
     /// Index of the scenario in the swept batch.
     pub index: usize,
@@ -30,6 +30,48 @@ pub struct WorstEntry {
     pub cost: u64,
 }
 
+/// The witness of the worst `time / bound` ratio over scenarios that
+/// carry a **per-scenario** analytic bound
+/// ([`ScenarioOutcome::time_bound`]) — gathering's merge-and-restart
+/// bound `(k−1)·(time bound + max delay)` varies with the fleet, so a
+/// single sweep-level [`Bounds`] cannot rank those outcomes.
+///
+/// Ratios are compared by exact `u128` cross-multiplication, never
+/// floats, and ties break toward the smallest scenario index — so the
+/// witness is independent of execution order and of sharding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RatioEntry {
+    /// Index of the scenario in the swept batch.
+    pub index: usize,
+    /// The scenario itself.
+    pub scenario: Scenario,
+    /// Its measured time (the ratio's numerator).
+    pub time: u64,
+    /// Its per-scenario analytic bound (the ratio's denominator).
+    pub time_bound: u64,
+}
+
+/// `a.0/a.1 > b.0/b.1` by `u128` cross-multiplication — exact, so merge
+/// order can never flip a comparison the way float rounding could. The
+/// single definition behind both the sweep-level [`RatioEntry`] and the
+/// topology sweep's [`TopoWitness`](crate::TopoWitness) ranking.
+pub(crate) fn ratio_pair_gt(a: (u64, u64), b: (u64, u64)) -> bool {
+    u128::from(a.0) * u128::from(b.1) > u128::from(b.0) * u128::from(a.1)
+}
+
+/// `a.0/a.1 == b.0/b.1`, exactly.
+pub(crate) fn ratio_pair_eq(a: (u64, u64), b: (u64, u64)) -> bool {
+    u128::from(a.0) * u128::from(b.1) == u128::from(b.0) * u128::from(a.1)
+}
+
+fn ratio_gt(a: &RatioEntry, b: &RatioEntry) -> bool {
+    ratio_pair_gt((a.time, a.time_bound), (b.time, b.time_bound))
+}
+
+fn ratio_eq(a: &RatioEntry, b: &RatioEntry) -> bool {
+    ratio_pair_eq((a.time, a.time_bound), (b.time, b.time_bound))
+}
+
 /// Aggregate statistics of one sweep.
 ///
 /// Stats are **mergeable**: a sweep can be split into shards (see
@@ -37,7 +79,7 @@ pub struct WorstEntry {
 /// serialized across the process boundary, and folded back together with
 /// [`SweepStats::merge`] — producing exactly the stats of the unsharded
 /// sweep, witnesses included.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct SweepStats {
     /// Scenarios executed.
     pub executed: usize,
@@ -56,7 +98,12 @@ pub struct SweepStats {
     pub total_cost: u128,
     /// Total edge crossings observed across all scenarios.
     pub crossings: u64,
-    /// Meeting scenarios whose time exceeded [`Bounds::time`].
+    /// Total cluster-merge events across all scenarios (gathering sweeps;
+    /// 0 for pair sweeps).
+    pub merges: u64,
+    /// Meeting scenarios whose time exceeded [`Bounds::time`] — or, when
+    /// the outcome carried its own [`ScenarioOutcome::time_bound`], that
+    /// per-scenario bound.
     pub time_violations: usize,
     /// Meeting scenarios whose cost exceeded [`Bounds::cost`].
     pub cost_violations: usize,
@@ -64,6 +111,10 @@ pub struct SweepStats {
     pub worst_time: Option<WorstEntry>,
     /// Witness of `max_cost` (lowest index on ties).
     pub worst_cost: Option<WorstEntry>,
+    /// Witness of the worst `time / per-scenario bound` ratio, over
+    /// outcomes that carried one (exact `u128` cross-multiplication;
+    /// lowest index on ties). `None` for pure pair sweeps.
+    pub worst_ratio: Option<RatioEntry>,
 }
 
 impl SweepStats {
@@ -100,6 +151,7 @@ impl SweepStats {
     pub fn absorb(&mut self, index: usize, outcome: &ScenarioOutcome, bounds: Option<Bounds>) {
         self.executed += 1;
         self.crossings += outcome.crossings;
+        self.merges += outcome.merges;
         match outcome.time {
             Some(time) => {
                 self.meetings += 1;
@@ -107,7 +159,7 @@ impl SweepStats {
                 self.total_cost += u128::from(outcome.cost);
                 let entry = WorstEntry {
                     index,
-                    scenario: outcome.scenario,
+                    scenario: outcome.scenario.clone(),
                     time,
                     cost: outcome.cost,
                 };
@@ -117,20 +169,41 @@ impl SweepStats {
                 self.max_time = self.max_time.max(time);
                 if self
                     .worst_time
+                    .as_ref()
                     .is_none_or(|w| time > w.time || (time == w.time && index < w.index))
                 {
-                    self.worst_time = Some(entry);
+                    self.worst_time = Some(entry.clone());
                 }
                 self.max_cost = self.max_cost.max(outcome.cost);
-                if self.worst_cost.is_none_or(|w| {
+                if self.worst_cost.as_ref().is_none_or(|w| {
                     outcome.cost > w.cost || (outcome.cost == w.cost && index < w.index)
                 }) {
                     self.worst_cost = Some(entry);
                 }
-                if let Some(b) = bounds {
+                // A per-scenario bound overrides the sweep-level time
+                // bound: gathering's merge-and-restart bound depends on
+                // the fleet, so each outcome is judged against its own.
+                if let Some(b) = outcome.time_bound {
+                    if time > b {
+                        self.time_violations += 1;
+                    }
+                    let candidate = RatioEntry {
+                        index,
+                        scenario: outcome.scenario.clone(),
+                        time,
+                        time_bound: b,
+                    };
+                    if self.worst_ratio.as_ref().is_none_or(|w| {
+                        ratio_gt(&candidate, w) || (ratio_eq(&candidate, w) && index < w.index)
+                    }) {
+                        self.worst_ratio = Some(candidate);
+                    }
+                } else if let Some(b) = bounds {
                     if time > b.time {
                         self.time_violations += 1;
                     }
+                }
+                if let Some(b) = bounds {
                     if outcome.cost > b.cost {
                         self.cost_violations += 1;
                     }
@@ -155,20 +228,34 @@ impl SweepStats {
         /// Lowest-index-on-ties winner between two optional witnesses,
         /// ranked by the given extreme value.
         fn worst(
-            a: Option<WorstEntry>,
-            b: Option<WorstEntry>,
+            a: &Option<WorstEntry>,
+            b: &Option<WorstEntry>,
             value: impl Fn(&WorstEntry) -> u64,
         ) -> Option<WorstEntry> {
             match (a, b) {
                 (Some(x), Some(y)) => {
-                    let (vx, vy) = (value(&x), value(&y));
+                    let (vx, vy) = (value(x), value(y));
                     if vx > vy || (vx == vy && x.index <= y.index) {
-                        Some(x)
+                        Some(x.clone())
                     } else {
-                        Some(y)
+                        Some(y.clone())
                     }
                 }
-                (x, y) => x.or(y),
+                (x, y) => x.clone().or_else(|| y.clone()),
+            }
+        }
+        /// Worst-ratio winner: exact cross-multiplication, lowest index
+        /// on exact ties.
+        fn worst_ratio(a: &Option<RatioEntry>, b: &Option<RatioEntry>) -> Option<RatioEntry> {
+            match (a, b) {
+                (Some(x), Some(y)) => {
+                    if ratio_gt(x, y) || (ratio_eq(x, y) && x.index <= y.index) {
+                        Some(x.clone())
+                    } else {
+                        Some(y.clone())
+                    }
+                }
+                (x, y) => x.clone().or_else(|| y.clone()),
             }
         }
         SweepStats {
@@ -180,10 +267,12 @@ impl SweepStats {
             total_time: self.total_time + other.total_time,
             total_cost: self.total_cost + other.total_cost,
             crossings: self.crossings + other.crossings,
+            merges: self.merges + other.merges,
             time_violations: self.time_violations + other.time_violations,
             cost_violations: self.cost_violations + other.cost_violations,
-            worst_time: worst(self.worst_time, other.worst_time, |w| w.time),
-            worst_cost: worst(self.worst_cost, other.worst_cost, |w| w.cost),
+            worst_time: worst(&self.worst_time, &other.worst_time, |w| w.time),
+            worst_cost: worst(&self.worst_cost, &other.worst_cost, |w| w.cost),
+            worst_ratio: worst_ratio(&self.worst_ratio, &other.worst_ratio),
         }
     }
 }
@@ -205,19 +294,21 @@ mod tests {
     use rendezvous_graph::NodeId;
 
     fn outcome(time: Option<u64>, cost: u64, crossings: u64) -> ScenarioOutcome {
-        ScenarioOutcome {
-            scenario: Scenario {
-                first_label: 1,
-                second_label: 2,
-                start_a: NodeId::new(0),
-                start_b: NodeId::new(1),
-                delay: 0,
-                horizon: 10,
-            },
+        ScenarioOutcome::pairwise(
+            Scenario::pair(1, 2, NodeId::new(0), NodeId::new(1), 0, 10),
             time,
             cost,
             crossings,
-        }
+        )
+    }
+
+    /// A gathering-style outcome: carries its own merge-and-restart bound
+    /// and a merge-event count.
+    fn fleet_outcome(time: Option<u64>, cost: u64, bound: u64, merges: u64) -> ScenarioOutcome {
+        let mut o = outcome(time, cost, 0);
+        o.time_bound = Some(bound);
+        o.merges = merges;
+        o
     }
 
     #[test]
@@ -237,8 +328,8 @@ mod tests {
         assert_eq!(stats.max_cost, 8);
         assert_eq!(stats.crossings, 3);
         // First scenario reaching the max wins ties.
-        assert_eq!(stats.worst_time.unwrap().index, 2);
-        assert_eq!(stats.worst_cost.unwrap().index, 3);
+        assert_eq!(stats.worst_time.as_ref().unwrap().index, 2);
+        assert_eq!(stats.worst_cost.as_ref().unwrap().index, 3);
         // Two meetings exceeded the time bound of 9? Only times 10, 10.
         assert_eq!(stats.time_violations, 2);
         assert_eq!(stats.cost_violations, 0);
@@ -256,11 +347,11 @@ mod tests {
         let mut stats = SweepStats::default();
         stats.absorb(7, &b, None);
         stats.absorb(2, &a, None);
-        assert_eq!(stats.worst_time.unwrap().index, 2);
-        assert_eq!(stats.worst_cost.unwrap().index, 2);
+        assert_eq!(stats.worst_time.as_ref().unwrap().index, 2);
+        assert_eq!(stats.worst_cost.as_ref().unwrap().index, 2);
         // In-order folding agrees.
         let ordered = fold_outcomes(&[a, b], None);
-        assert_eq!(ordered.worst_time.unwrap().index, 0);
+        assert_eq!(ordered.worst_time.as_ref().unwrap().index, 0);
         assert_eq!(stats.max_time, ordered.max_time);
     }
 
@@ -291,7 +382,7 @@ mod tests {
             assert_eq!(right.merge(&left), whole, "swapped split at {split}");
         }
         // Associativity over a three-way split.
-        let mut parts = [SweepStats::default(); 3];
+        let mut parts: [SweepStats; 3] = Default::default();
         for (i, o) in outcomes.iter().enumerate() {
             parts[i % 3].absorb(i, o, bounds);
         }
@@ -341,14 +432,73 @@ mod tests {
         assert_eq!(back, stats);
         // Witnesses survive with their full scenario payload.
         assert_eq!(
-            back.worst_time.unwrap().scenario,
-            stats.worst_time.unwrap().scenario
+            back.worst_time.as_ref().unwrap().scenario,
+            stats.worst_time.as_ref().unwrap().scenario
         );
         // And an all-default (witness-free) value round-trips as well.
         let empty = SweepStats::default();
         let back: SweepStats =
             serde_json::from_str(&serde_json::to_string(&empty).unwrap()).unwrap();
         assert_eq!(back, empty);
+    }
+
+    /// Per-scenario bounds (gathering): violations are judged against
+    /// each outcome's own bound, merge events accumulate, and the
+    /// worst-ratio witness is ranked by exact cross-multiplication.
+    #[test]
+    fn per_scenario_bounds_drive_violations_ratio_and_merges() {
+        let outcomes = vec![
+            fleet_outcome(Some(10), 4, 40, 1), // ratio 1/4
+            fleet_outcome(Some(9), 2, 27, 2),  // ratio 1/3 — the worst
+            fleet_outcome(Some(50), 9, 45, 3), // violation! ratio 10/9
+            fleet_outcome(None, 0, 45, 0),     // failure, no ratio
+        ];
+        let stats = fold_outcomes(&outcomes, None);
+        assert_eq!(stats.merges, 6);
+        assert_eq!(stats.time_violations, 1, "only 50 > 45");
+        assert_eq!(stats.failures, 1);
+        let w = stats.worst_ratio.as_ref().unwrap();
+        assert_eq!((w.index, w.time, w.time_bound), (2, 50, 45));
+        // Without the violating outcome, the exact comparison must pick
+        // 9/27 == 1/3 over 10/40 == 1/4.
+        let stats = fold_outcomes(&outcomes[..2], None);
+        assert_eq!(stats.time_violations, 0);
+        let w = stats.worst_ratio.as_ref().unwrap();
+        assert_eq!((w.index, w.time, w.time_bound), (1, 9, 27));
+    }
+
+    /// Exact ratio ties (7/21 == 9/27) break toward the lowest index —
+    /// floats would have rounded — and the rule survives merges in both
+    /// orders.
+    #[test]
+    fn ratio_ties_break_by_lowest_index_across_merges() {
+        let x = fleet_outcome(Some(7), 1, 21, 0);
+        let y = fleet_outcome(Some(9), 1, 27, 0);
+        let mut low = SweepStats::default();
+        low.absorb(3, &x, None);
+        let mut high = SweepStats::default();
+        high.absorb(11, &y, None);
+        for merged in [low.merge(&high), high.merge(&low)] {
+            assert_eq!(merged.worst_ratio.as_ref().unwrap().index, 3);
+        }
+        // In-order folding agrees with the merge.
+        let mut folded = SweepStats::default();
+        folded.absorb(3, &x, None);
+        folded.absorb(11, &y, None);
+        assert_eq!(folded.worst_ratio, low.merge(&high).worst_ratio);
+    }
+
+    #[test]
+    fn fleet_stats_serde_round_trip_includes_ratio_witness() {
+        let mut stats = SweepStats::default();
+        stats.absorb(5, &fleet_outcome(Some(12), 7, 36, 2), None);
+        let text = serde_json::to_string(&stats).unwrap();
+        let back: SweepStats = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, stats);
+        assert_eq!(back.merges, 2);
+        assert_eq!(back.worst_ratio.as_ref().unwrap().time_bound, 36);
+        // Byte-identical re-serialization: what shard ledgers rely on.
+        assert_eq!(serde_json::to_string(&back).unwrap(), text);
     }
 
     #[test]

@@ -312,14 +312,14 @@ impl TopoWitness {
 }
 
 /// Ratio comparison without floats: `a.time / a.time_bound` versus
-/// `b.time / b.time_bound` by `u128` cross-multiplication — exact, so
-/// merge order can never flip a comparison the way float rounding could.
+/// `b.time / b.time_bound` through the shared exact cross-multiplication
+/// helper of `stats.rs`, so the two witness rankings can never drift.
 fn ratio_gt(a: &TopoWitness, b: &TopoWitness) -> bool {
-    u128::from(a.time) * u128::from(b.time_bound) > u128::from(b.time) * u128::from(a.time_bound)
+    crate::stats::ratio_pair_gt((a.time, a.time_bound), (b.time, b.time_bound))
 }
 
 fn ratio_eq(a: &TopoWitness, b: &TopoWitness) -> bool {
-    u128::from(a.time) * u128::from(b.time_bound) == u128::from(b.time) * u128::from(a.time_bound)
+    crate::stats::ratio_pair_eq((a.time, a.time_bound), (b.time, b.time_bound))
 }
 
 /// Per-family aggregates of a topology sweep.
@@ -338,7 +338,13 @@ pub struct FamilyStats {
     pub max_time: u64,
     /// Maximum cost over meeting scenarios.
     pub max_cost: u64,
-    /// Meeting scenarios whose time exceeded their spec's time bound.
+    /// Total cluster-merge events across the family's scenarios
+    /// (gathering sweeps; 0 for pair sweeps).
+    pub merges: u64,
+    /// Meeting scenarios whose time exceeded their spec's time bound —
+    /// or, when the outcome carried its own per-scenario
+    /// [`time_bound`](crate::ScenarioOutcome::time_bound) (gathering's
+    /// merge-and-restart bound), that bound.
     pub time_violations: usize,
     /// Meeting scenarios whose cost exceeded their spec's cost bound.
     pub cost_violations: usize,
@@ -361,6 +367,7 @@ impl FamilyStats {
             failures: 0,
             max_time: 0,
             max_cost: 0,
+            merges: 0,
             time_violations: 0,
             cost_violations: 0,
             worst_time: None,
@@ -377,6 +384,7 @@ impl FamilyStats {
         bounds: Bounds,
     ) {
         self.executed += 1;
+        self.merges += outcome.merges;
         let Some(time) = outcome.time else {
             self.failures += 1;
             return;
@@ -384,7 +392,11 @@ impl FamilyStats {
         self.meetings += 1;
         self.max_time = self.max_time.max(time);
         self.max_cost = self.max_cost.max(outcome.cost);
-        if time > bounds.time {
+        // A per-scenario bound (gathering's merge-and-restart bound, which
+        // varies with the fleet) overrides the entry-level time bound for
+        // both the violation check and the ratio witness.
+        let time_bound = outcome.time_bound.unwrap_or(bounds.time);
+        if time > time_bound {
             self.time_violations += 1;
         }
         if outcome.cost > bounds.cost {
@@ -394,10 +406,10 @@ impl FamilyStats {
             spec_index: entry.spec_index,
             scenario_index,
             spec: entry.spec.clone(),
-            scenario: outcome.scenario,
+            scenario: outcome.scenario.clone(),
             time,
             cost: outcome.cost,
-            time_bound: bounds.time,
+            time_bound,
             cost_bound: bounds.cost,
         };
         replace_if(
@@ -424,6 +436,7 @@ impl FamilyStats {
             failures: self.failures + other.failures,
             max_time: self.max_time.max(other.max_time),
             max_cost: self.max_cost.max(other.max_cost),
+            merges: self.merges + other.merges,
             time_violations: self.time_violations + other.time_violations,
             cost_violations: self.cost_violations + other.cost_violations,
             worst_time: merge_witness(
@@ -604,19 +617,12 @@ mod tests {
     }
 
     fn outcome(time: Option<u64>, cost: u64) -> ScenarioOutcome {
-        ScenarioOutcome {
-            scenario: Scenario {
-                first_label: 1,
-                second_label: 2,
-                start_a: NodeId::new(0),
-                start_b: NodeId::new(1),
-                delay: 0,
-                horizon: 50,
-            },
+        ScenarioOutcome::pairwise(
+            Scenario::pair(1, 2, NodeId::new(0), NodeId::new(1), 0, 50),
             time,
             cost,
-            crossings: 0,
-        }
+            0,
+        )
     }
 
     #[test]
@@ -743,6 +749,36 @@ mod tests {
         assert!(!stats.clean());
         assert_eq!(stats.executed(), 3);
         assert_eq!(stats.violations(), 2);
+    }
+
+    /// Gathering outcomes carry their own merge-and-restart bound; the
+    /// family fold must judge violations and the ratio witness against
+    /// it, not the entry-level bound, and must total the merge events.
+    #[test]
+    fn per_scenario_bounds_override_entry_bounds_in_family_stats() {
+        let e = entry(0, GraphSpec::Ring(RingSpec { n: 4 }));
+        let bounds = Bounds {
+            time: 100,
+            cost: 100,
+        };
+        let mut stats = TopoStats::default();
+        let mut violating = outcome(Some(30), 5);
+        violating.time_bound = Some(25); // beyond its own bound…
+        violating.merges = 2;
+        let mut clean = outcome(Some(10), 5);
+        clean.time_bound = Some(40); // …this one within its own
+        clean.merges = 1;
+        stats.absorb("ring", &e, 0, &violating, bounds);
+        stats.absorb("ring", &e, 1, &clean, bounds);
+        let f = stats.family("ring").unwrap();
+        assert_eq!(
+            f.time_violations, 1,
+            "30 > 25 violates even though 30 < 100"
+        );
+        assert_eq!(f.merges, 3);
+        let w = f.worst_ratio.as_ref().unwrap();
+        assert_eq!((w.time, w.time_bound), (30, 25), "ratio 30/25 > 10/40");
+        assert!(!stats.clean());
     }
 
     #[test]

@@ -171,7 +171,7 @@ fn worst_case_witness_of_walker_vs_idler_is_ring_length_minus_one() {
     assert_eq!(stats.max_cost, (n - 1) as u64);
     let w = stats.worst_time.unwrap();
     assert_eq!(
-        (w.scenario.start_b.index() + n - w.scenario.start_a.index()) % n,
+        (w.scenario.start_b().index() + n - w.scenario.start_a().index()) % n,
         n - 1,
         "worst placement is one step counter-clockwise"
     );

@@ -50,6 +50,24 @@ impl GatheringOutcome {
     pub fn gathered_all(&self) -> bool {
         self.gathered.is_some()
     }
+
+    /// Number of merge events: rounds after which the cluster count
+    /// strictly decreased, measured against the initial `k` separate
+    /// clusters. A run in which no clusters ever merged reports **0**
+    /// (the old hand-rolled `windows(2)`-plus-one count both missed a
+    /// first-round merge and inflated every count by one).
+    #[must_use]
+    pub fn merge_events(&self) -> usize {
+        let mut previous = self.per_agent_cost.len();
+        self.cluster_history
+            .iter()
+            .filter(|&&clusters| {
+                let decreased = clusters < previous;
+                previous = clusters;
+                decreased
+            })
+            .count()
+    }
 }
 
 /// Runs a gathering of `k ≥ 2` agents with distinct labels and distinct
@@ -233,6 +251,43 @@ mod tests {
             })
             .collect::<Vec<_>>();
         assert_eq!(min_seen.last(), Some(&1));
+    }
+
+    /// Regression for the merge-event count: it is **0-based** (no
+    /// cluster-count decrease ⇒ 0 merges, not 1) and it sees a merge that
+    /// happens in the very first round, which a `windows(2)` scan over
+    /// the history alone cannot (the initial `k` is the baseline).
+    #[test]
+    fn merge_events_are_zero_based_and_count_first_round_merges() {
+        // No decrease at all: two idlers parked apart forever.
+        let out = GatheringOutcome {
+            gathered: None,
+            rounds_executed: 4,
+            per_agent_cost: vec![0, 0],
+            cluster_history: vec![2, 2, 2, 2],
+        };
+        assert_eq!(out.merge_events(), 0, "no merge may be invented");
+        // A first-round merge (3 clusters → 2 before any window exists),
+        // then another merge later: exactly two events.
+        let out = GatheringOutcome {
+            gathered: Some(Meeting {
+                round: 3,
+                node: NodeId::new(0),
+            }),
+            rounds_executed: 3,
+            per_agent_cost: vec![1, 1, 1],
+            cluster_history: vec![2, 2, 1],
+        };
+        assert_eq!(out.merge_events(), 2);
+        // Fluctuating counts: only strict decreases count, increases
+        // (clusters drifting apart) do not un-count them.
+        let out = GatheringOutcome {
+            gathered: None,
+            rounds_executed: 5,
+            per_agent_cost: vec![0; 4],
+            cluster_history: vec![4, 3, 4, 3, 2],
+        };
+        assert_eq!(out.merge_events(), 3);
     }
 
     #[test]

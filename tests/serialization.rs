@@ -49,3 +49,73 @@ fn experiment_rows_serialize_for_csv_and_json_export() {
     let m = rendezvous_bench::common::Measured { time: 3, cost: 4 };
     assert_eq!(serde_json::to_string(&m).unwrap(), r#"{"time":3,"cost":4}"#);
 }
+
+/// A shard ledger whose sweep stats carry **k-agent** scenarios (fleet
+/// witnesses with their `Vec<Placement>` and per-scenario ratio bounds)
+/// must round-trip byte-identically through the vendored serde — the
+/// property the multi-process gathering sweeps of X9/X11 stand on.
+#[test]
+fn shard_ledgers_round_trip_k_agent_scenarios_byte_identically() {
+    use rendezvous_bench::sharding::{ShardEmission, SweepRecord};
+    use rendezvous_graph::NodeId;
+    use rendezvous_runner::{Placement, Scenario, ScenarioOutcome, SweepStats};
+
+    let fleet = Scenario::fleet(
+        (0..4)
+            .map(|i| Placement {
+                label: 1 + 5 * i,
+                start: NodeId::new(3 * i as usize),
+                delay: (7 * i) % 13,
+            })
+            .collect(),
+        2_048,
+    );
+    let mut stats = SweepStats::default();
+    stats.absorb(
+        9,
+        &ScenarioOutcome {
+            scenario: fleet,
+            time: Some(311),
+            cost: 640,
+            crossings: 0,
+            time_bound: Some(900),
+            merges: 3,
+        },
+        None,
+    );
+    let emission = ShardEmission {
+        shard: 1,
+        of: 3,
+        sweeps: vec![SweepRecord {
+            full_size: 12,
+            size: 12,
+            stats,
+        }],
+        topo: vec![],
+    };
+    let json = serde_json::to_string_pretty(&emission).unwrap();
+    let back: ShardEmission = serde_json::from_str(&json).unwrap();
+    assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
+    let witness = back.sweeps[0].stats.worst_ratio.as_ref().unwrap();
+    assert_eq!(witness.scenario.k(), 4);
+    assert_eq!(witness.time_bound, 900);
+    assert_eq!(back.sweeps[0].stats.merges, 3);
+}
+
+/// The vendored serde's tuple impls: `(label, start, delay)` placement
+/// triples and `(a, b)` pairs serialize as fixed-length arrays and come
+/// back exactly.
+#[test]
+fn placement_tuples_round_trip_as_arrays() {
+    use rendezvous_graph::NodeId;
+    let triples: Vec<(u64, NodeId, u64)> = vec![(1, NodeId::new(0), 0), (9, NodeId::new(4), 7)];
+    let json = serde_json::to_string(&triples).unwrap();
+    assert_eq!(json, "[[1,0,0],[9,4,7]]");
+    let back: Vec<(u64, NodeId, u64)> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, triples);
+    let pair: (u64, u64) = serde_json::from_str("[3,5]").unwrap();
+    assert_eq!(pair, (3, 5));
+    // Exact arity: trailing elements must fail, not silently truncate.
+    assert!(serde_json::from_str::<(u64, u64)>("[3,5,8]").is_err());
+    assert!(serde_json::from_str::<(u64, NodeId, u64)>("[3,5]").is_err());
+}

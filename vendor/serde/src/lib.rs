@@ -270,6 +270,42 @@ impl Serialize for f32 {
     }
 }
 
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|x| x as f32)
+    }
+}
+
+// Tuples serialize as fixed-length arrays — the shape the fleet APIs
+// traffic in (`(label, start, delay)` placement triples, `(a, b)` label
+// and start pairs).
+macro_rules! serialize_tuple {
+    ($(($arity:literal; $($name:ident : $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let elements = value
+                    .as_array()
+                    .ok_or_else(|| DeError::custom("expected array for tuple"))?;
+                // Exact arity, as in real serde: trailing elements must
+                // fail loudly, not round-trip "successfully" truncated.
+                if elements.len() != $arity {
+                    return Err(DeError::custom(concat!(
+                        "expected array of length ",
+                        stringify!($arity)
+                    )));
+                }
+                Ok(($($name::from_value(element(value, $idx)?)?,)+))
+            }
+        }
+    )+};
+}
+serialize_tuple!((2; A: 0, B: 1), (3; A: 0, B: 1, C: 2));
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)
