@@ -72,6 +72,80 @@ fn engine_occupancy(c: &mut Criterion) {
     }
 }
 
+/// The flat-plan decision phase: a compiled `(label, start)` action
+/// array replaces the `ScheduleBehavior`'s per-round phase bookkeeping
+/// and explorer-run stepping with an indexed load. The baseline drives
+/// the stepped behavior through a full solo run; the flat variant
+/// replays the precompiled plan over the same rounds; the compile case
+/// prices the one-off unroll the executor's `(label, start)` cache
+/// amortizes across every delay and partner configuration of a sweep.
+fn engine_flat_plan(c: &mut Criterion) {
+    use rendezvous_core::{FlatPlan, Label, ScheduleBehavior};
+    use rendezvous_sim::run_solo;
+    let g = Arc::new(generators::oriented_ring(64).unwrap());
+    let ex: Arc<dyn Explorer> = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = Fast::new(g.clone(), ex, LabelSpace::new(64).unwrap());
+    let schedule = Arc::new(alg.schedule(Label::new(42).unwrap()).unwrap());
+    let rounds = schedule.total_rounds();
+    let start = NodeId::new(0);
+    c.bench_function("engine/flat_plan_compile", |b| {
+        b.iter(|| {
+            black_box(FlatPlan::compile(g.clone(), Arc::clone(&schedule), start).len());
+        });
+    });
+    // Decision phase in isolation: next_action round by round, without
+    // the simulator around it (the ring's degree is uniformly 2, which
+    // is all the stepped behavior reads from its observation).
+    use rendezvous_sim::{AgentBehavior, Observation};
+    c.bench_function("engine/schedule_step_decisions", |b| {
+        b.iter(|| {
+            let mut stepped =
+                ScheduleBehavior::with_shared(g.clone(), Arc::clone(&schedule), start);
+            let mut moves = 0u64;
+            for r in 0..rounds {
+                let action = stepped.next_action(Observation {
+                    local_round: r,
+                    degree: 2,
+                    entry_port: None,
+                });
+                moves += u64::from(action.is_move());
+            }
+            black_box(moves)
+        });
+    });
+    let plan = Arc::new(FlatPlan::compile(g.clone(), Arc::clone(&schedule), start));
+    c.bench_function("engine/flat_plan_decisions", |b| {
+        b.iter(|| {
+            let mut flat = plan.behavior();
+            let mut moves = 0u64;
+            for r in 0..rounds {
+                let action = flat.next_action(Observation {
+                    local_round: r,
+                    degree: 2,
+                    entry_port: None,
+                });
+                moves += u64::from(action.is_move());
+            }
+            black_box(moves)
+        });
+    });
+    // End-to-end through the solo harness, for the realistic per-run
+    // saving a sweep scenario sees.
+    c.bench_function("engine/flat_plan_solo_run", |b| {
+        b.iter(|| {
+            let mut flat = plan.behavior();
+            black_box(run_solo(&g, &mut flat, start, rounds).unwrap().cost())
+        });
+    });
+    c.bench_function("engine/schedule_step_solo_run", |b| {
+        b.iter(|| {
+            let mut stepped =
+                ScheduleBehavior::with_shared(g.clone(), Arc::clone(&schedule), start);
+            black_box(run_solo(&g, &mut stepped, start, rounds).unwrap().cost())
+        });
+    });
+}
+
 fn walk_computation(c: &mut Criterion) {
     let grid = generators::grid(16, 16).unwrap();
     c.bench_function("explore/dfs_walk_grid256", |b| {
@@ -175,6 +249,6 @@ fn topo_graph_build(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = engine_throughput, engine_occupancy, walk_computation, label_machinery, graph_generation, topo_graph_build
+    targets = engine_throughput, engine_occupancy, engine_flat_plan, walk_computation, label_machinery, graph_generation, topo_graph_build
 }
 criterion_main!(benches);

@@ -52,7 +52,8 @@
 //! topology, each run checked against its own merge-and-restart bound.
 //! `all` deliberately excludes both (they are the heaviest tables);
 //! select them explicitly. Sharding works for them exactly as above —
-//! per-family `TopoStats` ride the same shard ledger.
+//! a `TopoGrid` is just another `Workload`, so its per-family reports
+//! ride the same unified ledger as every grid sweep.
 
 use rendezvous_bench::*;
 use rendezvous_runner::Runner;
@@ -118,7 +119,7 @@ fn parse_shard_spec(spec: &str) -> (usize, usize) {
 /// `--shard i/m`), parses the emitted ledgers, and returns them merged —
 /// the driver mode that closes the "spawn the shards and merge
 /// automatically" loop without temp files.
-fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedgers {
+fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedger {
     let exe = std::env::current_exe().unwrap_or_else(|e| {
         eprintln!("cannot locate own binary: {e}");
         std::process::exit(1);
@@ -172,7 +173,8 @@ fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedgers {
             })
         })
         .collect();
-    sharding::merge_emissions(emissions).unwrap_or_else(|e| {
+    let names: Vec<String> = (0..m).map(|i| format!("spawned shard {i}/{m}")).collect();
+    sharding::merge_emissions(emissions, &names).unwrap_or_else(|e| {
         eprintln!("cannot merge spawned shards: {e}");
         std::process::exit(1);
     })
@@ -287,7 +289,7 @@ fn main() {
         sharding::begin_shard(i, m);
     } else if let Some(m) = spawn {
         let merged = spawn_shards(m, &passthrough);
-        sharding::begin_replay(merged.sweeps, merged.topo);
+        sharding::begin_replay(merged.records, merged.source);
     } else if let Some(files) = &merge_files {
         let emissions: Vec<sharding::ShardEmission> = files
             .iter()
@@ -298,9 +300,9 @@ fn main() {
                     .unwrap_or_else(|e| usage_error(&format!("{path} is not a shard ledger: {e}")))
             })
             .collect();
-        let merged = sharding::merge_emissions(emissions)
+        let merged = sharding::merge_emissions(emissions, files)
             .unwrap_or_else(|e| usage_error(&format!("cannot merge shards: {e}")));
-        sharding::begin_replay(merged.sweeps, merged.topo);
+        sharding::begin_replay(merged.records, merged.source);
     }
 
     for w in &wanted {

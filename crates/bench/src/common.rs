@@ -6,8 +6,8 @@ use rendezvous_core::RendezvousAlgorithm;
 use rendezvous_explore::{Explorer, OrientedRingExplorer};
 use rendezvous_graph::{generators, PortLabeledGraph};
 use rendezvous_runner::{
-    AlgorithmExecutor, Bounds, Executor, Grid, Runner, SweepStats, TopoExecutor, TopoGrid,
-    TopoStats,
+    AlgorithmExecutor, Bounded, Bounds, Grid, GroupStats, PieceExecutor, Runner, SweepReport,
+    Workload,
 };
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -48,115 +48,58 @@ pub fn adversarial_grid(
         .all_start_pairs(algorithm.graph())
 }
 
-/// Sweeps `grid` through `executor`, honoring an active sharding session
-/// (see [`crate::sharding`]): in shard mode only this process's shard of
-/// the grid executes and the partial stats are recorded to the ledger;
-/// in replay mode a previously merged record stands in for execution —
-/// both transparently to callers. This is the single grid→stats path of
-/// the experiments binary, shared by the pair sweeps ([`sweep_worst`])
-/// and the gathering sweeps (X9/X11).
+/// Sweeps any [`Workload`] through a [`PieceExecutor`], honoring an
+/// active sharding session (see [`crate::sharding`]): in shard mode only
+/// this process's shard of the workload executes and the partial
+/// [`SweepReport`] is recorded to the ledger; in replay mode a
+/// previously merged record stands in for execution — both transparently
+/// to callers. This is the **single** workload→report path of the
+/// experiments binary: the pair grids of X1–X8 ([`sweep_worst`]), the
+/// gathering fleet grids of X9, and the topology sweeps of X10/X11 all
+/// run through it, so `--shard`/`--merge-shards`/`--spawn-shards` ride
+/// one code path for every experiment.
 ///
 /// # Panics
 ///
-/// Panics on any execution error, on an empty grid (`context` names the
-/// sweep in the message) and — in replay mode — when the merged ledger's
-/// grid fingerprints disagree with this run's grid.
+/// Panics on any execution error, on an empty workload (`context` names
+/// the sweep in the message) and — in replay mode — when the merged
+/// ledger's next record disagrees with this run's workload (kind or size
+/// fingerprint).
 #[must_use]
-pub fn sweep_recorded(
+pub fn sweep_recorded<W, E>(
     context: &str,
-    grid: &Grid,
-    executor: &dyn Executor,
-    bounds: Option<Bounds>,
+    workload: &W,
+    executor: &E,
     runner: &Runner,
-) -> SweepStats {
-    let stats = match crate::sharding::plan_sweep() {
+) -> SweepReport
+where
+    W: Workload + ?Sized,
+    E: PieceExecutor + ?Sized,
+{
+    let meta = workload.meta();
+    let report = match crate::sharding::plan_sweep(&meta) {
         crate::sharding::SweepPlan::Full => runner
-            .sweep_bounded(executor, &grid.scenarios(), bounds)
-            .unwrap_or_else(|e| panic!("adversarial sweep failed: {e}")),
+            .sweep(workload, executor)
+            .unwrap_or_else(|e| panic!("adversarial sweep failed for {context}: {e}")),
         crate::sharding::SweepPlan::Shard { shard, of } => {
-            let stats = runner
-                .sweep_shard(executor, &grid.shard(shard, of), bounds)
-                .unwrap_or_else(|e| panic!("adversarial shard sweep failed: {e}"));
-            crate::sharding::record_shard_sweep(crate::sharding::SweepRecord {
-                full_size: grid.full_size(),
-                size: grid.size(),
-                stats: stats.clone(),
-            });
-            // A shard of a small grid may legitimately be empty, so the
-            // non-emptiness sanity check applies only to the whole grid.
-            assert!(grid.size() > 0, "empty adversarial grid for {context}");
-            return stats;
+            let report = runner
+                .sweep_shard(workload, shard, of, executor)
+                .unwrap_or_else(|e| panic!("adversarial shard sweep failed for {context}: {e}"));
+            crate::sharding::record_sweep(crate::sharding::LedgerRecord::new(meta, report.clone()));
+            // A shard of a small workload may legitimately be empty, so
+            // the non-emptiness sanity check applies only to the whole
+            // space.
+            assert!(workload.size() > 0, "empty adversarial sweep for {context}");
+            return report;
         }
-        crate::sharding::SweepPlan::Replay(record) => {
-            // Both fingerprints must match: post-cap sizes can coincide
-            // across different sweeps (e.g. two capped grids clipped to
-            // the same cap), but the pre-cap product space disambiguates.
-            assert_eq!(
-                (record.full_size, record.size),
-                (grid.full_size(), grid.size()),
-                "merged ledger out of step with the sweep sequence for {} \
-                 (recorded a {}/{}-scenario grid, expected {}/{}) — shard and \
-                 merge runs must use identical experiment selections and flags",
-                context,
-                record.size,
-                record.full_size,
-                grid.size(),
-                grid.full_size()
-            );
-            record.stats
-        }
+        crate::sharding::SweepPlan::Replay(record) => record.report().clone(),
     };
     assert!(
-        stats.executed > 0,
-        "empty adversarial grid for {context} — misconfigured sweep \
+        report.executed() > 0,
+        "empty adversarial sweep for {context} — misconfigured workload \
          (no label pairs, no delays, or a graph without distinct start pairs)"
     );
-    stats
-}
-
-/// Sweeps a [`TopoGrid`] through a [`TopoExecutor`], honoring an active
-/// sharding session exactly like [`sweep_recorded`] does for scenario
-/// grids — shard mode records partial [`TopoStats`] to the topo ledger,
-/// replay mode consumes the merged record. Shared by X10 (pair
-/// rendezvous over topologies) and X11 (gathering over topologies).
-///
-/// # Panics
-///
-/// Panics if any execution fails or — in replay mode — if the merged
-/// topo ledger came from a different sweep.
-#[must_use]
-pub fn sweep_topo_recorded(
-    topo: &TopoGrid,
-    executor: &dyn TopoExecutor,
-    runner: &Runner,
-) -> TopoStats {
-    match crate::sharding::plan_topo_sweep() {
-        crate::sharding::TopoPlan::Full => runner
-            .sweep_topo(topo, executor)
-            .unwrap_or_else(|e| panic!("topology sweep failed: {e}")),
-        crate::sharding::TopoPlan::Shard { shard, of } => {
-            let stats = runner
-                .sweep_topo_shard(topo, shard, of, executor)
-                .unwrap_or_else(|e| panic!("topology shard sweep failed: {e}"));
-            crate::sharding::record_topo_sweep(crate::sharding::TopoRecord {
-                size: topo.size(),
-                stats: stats.clone(),
-            });
-            stats
-        }
-        crate::sharding::TopoPlan::Replay(record) => {
-            assert_eq!(
-                record.size,
-                topo.size(),
-                "merged topo ledger out of step with this run (recorded a \
-                 {}-scenario topo grid, expected {}) — shard and merge runs \
-                 must use identical experiment selections and flags",
-                record.size,
-                topo.size()
-            );
-            record.stats
-        }
-    }
+    report
 }
 
 /// Sweeps the standard adversarial grid through the shared [`Runner`] and
@@ -175,25 +118,26 @@ pub fn sweep_worst(
     delays: &[u64],
     horizon: u64,
     runner: &Runner,
-) -> SweepStats {
+) -> GroupStats {
     let grid = adversarial_grid(algorithm, label_pairs, delays, horizon);
     let bounds = Some(Bounds {
         time: algorithm.time_bound(),
         cost: algorithm.cost_bound(),
     });
+    let executor = AlgorithmExecutor::new(algorithm);
     let stats = sweep_recorded(
         algorithm.name(),
         &grid,
-        &AlgorithmExecutor::new(algorithm),
-        bounds,
+        &Bounded::new(&executor, bounds),
         runner,
-    );
+    )
+    .solo();
     check_failures(algorithm, stats)
 }
 
 /// Asserts the paper's always-meets guarantee over (possibly partial)
 /// sweep stats and passes them through.
-fn check_failures(algorithm: &dyn RendezvousAlgorithm, stats: SweepStats) -> SweepStats {
+fn check_failures(algorithm: &dyn RendezvousAlgorithm, stats: GroupStats) -> GroupStats {
     assert_eq!(
         stats.failures,
         0,

@@ -1,25 +1,30 @@
 //! Multi-process sweep sharding for the experiments binary.
 //!
-//! One experiment run performs a deterministic *sequence* of adversarial
+//! One experiment run performs a deterministic *sequence* of workload
 //! sweeps (every [`common::sweep_recorded`](crate::common::sweep_recorded)
-//! call — the pair grids of X1–X8 and the gathering fleet grids of X9
-//! alike). Sharding splits each sweep in that sequence across `m`
-//! independent processes and reassembles the exact single-process result:
+//! call — the pair grids of X1–X8, the gathering fleet grids of X9, and
+//! the topology sweeps of X10/X11 alike, all through the one generic
+//! [`Workload`](rendezvous_runner::Workload) pipeline). Sharding splits
+//! each sweep in that sequence across `m` independent processes and
+//! reassembles the exact single-process result:
 //!
 //! 1. **Shard pass** (`experiments --shard i/m --emit-shard`, run once per
-//!    `i`): every sweep executes only shard `i` of its grid
-//!    ([`Grid::shard`](rendezvous_runner::Grid::shard)), and the partial
-//!    [`SweepStats`] are appended to a ledger that is emitted as JSON.
+//!    `i`): every sweep executes only shard `i` of its workload
+//!    ([`Workload::shard`](rendezvous_runner::Workload::shard)), and the
+//!    partial [`SweepReport`] is appended to one ledger — a single
+//!    [`LedgerRecord`] stream in call order, whatever mix of grid and
+//!    topology sweeps the selection runs — emitted as JSON.
 //! 2. **Merge pass** (`experiments --merge-shards a.json b.json …`): the
 //!    emitted ledgers are merged position-wise with
-//!    [`SweepStats::merge`] and the experiments replay against the merged
+//!    [`SweepReport::merge`] and the experiments replay against the merged
 //!    ledger instead of executing — producing output byte-identical to an
 //!    unsharded run.
 //!
-//! Topology sweeps (`x10` and the gathering sweep `x11`) ride the same
-//! pipeline: each ledger carries a parallel `topo` section of per-sweep
-//! [`TopoStats`] partials with its own call-order cursor, merged
-//! position-wise with [`TopoStats::merge`].
+//! Each record is **self-describing**: it carries the workload kind and
+//! size fingerprint next to the partial report, so a merge or replay
+//! against ledgers from a *different* experiment selection fails with a
+//! diagnostic naming the sweep position, the expected versus found record
+//! kind, and where the ledger came from — instead of folding garbage.
 //!
 //! The mode lives in a process-wide session (the experiments binary is
 //! single-threaded at the sweep-sequence level, and sweeps themselves may
@@ -27,57 +32,148 @@
 //! no session is active [`plan_sweep`] says [`SweepPlan::Full`] — the
 //! ordinary single-process path.
 
-use rendezvous_runner::{SweepStats, TopoStats};
+use rendezvous_runner::{SweepReport, WorkloadKind, WorkloadMeta};
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
 
-/// One sweep's entry in a shard ledger: the shard's partial stats plus
-/// the grid fingerprint used to detect mismatched shard runs at merge
-/// time.
+/// One sweep's entry in a shard ledger: the workload's self-description
+/// (kind + size fingerprint, used to detect mismatched shard runs at
+/// merge and replay time) plus the shard's partial report — or, after
+/// merging, the full one.
 #[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SweepRecord {
-    /// Pre-cap size of the swept grid.
-    pub full_size: usize,
-    /// Post-cap size of the swept grid (what a full sweep executes).
-    pub size: usize,
-    /// The shard's partial stats (or, after merging, the full stats).
-    pub stats: SweepStats,
+pub enum LedgerRecord {
+    /// A scenario-grid sweep (pair or fleet mode) on one graph.
+    Grid {
+        /// Pre-cap size of the swept grid.
+        full_size: usize,
+        /// Post-cap size (what a full sweep executes).
+        size: usize,
+        /// The (partial or merged) fold.
+        report: SweepReport,
+    },
+    /// A topology sweep: per-spec grids concatenated over many graphs.
+    Topo {
+        /// Pre-cap size of the concatenated per-spec spaces (saturating
+        /// sum) — post-cap totals can coincide across different spec
+        /// lists or caps, and this disambiguates, exactly as for `Grid`.
+        full_size: usize,
+        /// Total (spec × scenario) size of the swept `TopoGrid`.
+        size: usize,
+        /// The (partial or merged) per-family fold.
+        report: SweepReport,
+    },
 }
 
-/// One **topology** sweep's entry in a shard ledger — the topo analogue
-/// of [`SweepRecord`], produced by the
-/// [`common::sweep_topo_recorded`](crate::common::sweep_topo_recorded)
-/// calls of X10/X11 and carried through the same emission/merge/replay
-/// pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct TopoRecord {
-    /// Total (spec × scenario) size of the swept `TopoGrid`.
-    pub size: usize,
-    /// The shard's partial per-family stats (after merging, the full
-    /// stats).
-    pub stats: TopoStats,
+impl LedgerRecord {
+    /// Builds the record of one workload's (partial) fold.
+    #[must_use]
+    pub fn new(meta: WorkloadMeta, report: SweepReport) -> LedgerRecord {
+        match meta.kind {
+            WorkloadKind::Grid => LedgerRecord::Grid {
+                full_size: meta.full_size,
+                size: meta.size,
+                report,
+            },
+            WorkloadKind::Topo => LedgerRecord::Topo {
+                full_size: meta.full_size,
+                size: meta.size,
+                report,
+            },
+        }
+    }
+
+    /// Which workload kind produced this record.
+    #[must_use]
+    pub fn kind(&self) -> WorkloadKind {
+        match self {
+            LedgerRecord::Grid { .. } => WorkloadKind::Grid,
+            LedgerRecord::Topo { .. } => WorkloadKind::Topo,
+        }
+    }
+
+    /// The recorded post-cap workload size.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        match self {
+            LedgerRecord::Grid { size, .. } | LedgerRecord::Topo { size, .. } => *size,
+        }
+    }
+
+    /// The recorded report.
+    #[must_use]
+    pub fn report(&self) -> &SweepReport {
+        match self {
+            LedgerRecord::Grid { report, .. } | LedgerRecord::Topo { report, .. } => report,
+        }
+    }
+
+    /// Returns `true` when this record's fingerprint matches `meta` —
+    /// same kind, same post-cap size, same pre-cap space.
+    #[must_use]
+    pub fn matches(&self, meta: &WorkloadMeta) -> bool {
+        self.meta() == *meta
+    }
+
+    /// The recorded fingerprint as a [`WorkloadMeta`].
+    #[must_use]
+    pub fn meta(&self) -> WorkloadMeta {
+        let (kind, full_size, size) = match self {
+            LedgerRecord::Grid {
+                full_size, size, ..
+            } => (WorkloadKind::Grid, *full_size, *size),
+            LedgerRecord::Topo {
+                full_size, size, ..
+            } => (WorkloadKind::Topo, *full_size, *size),
+        };
+        WorkloadMeta {
+            kind,
+            full_size,
+            size,
+        }
+    }
+
+    /// One-line fingerprint description for diagnostics.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        describe_meta(&self.meta())
+    }
+}
+
+/// Fingerprint description of a workload (or recorded sweep), for
+/// diagnostics — the single phrasing both sides of every
+/// expected-versus-found message use.
+fn describe_meta(meta: &WorkloadMeta) -> String {
+    match meta.kind {
+        WorkloadKind::Grid => format!(
+            "grid sweep of {} scenarios ({} pre-cap)",
+            meta.size, meta.full_size
+        ),
+        WorkloadKind::Topo => format!(
+            "topo sweep of {} (spec × scenario) units ({} pre-cap)",
+            meta.size, meta.full_size
+        ),
+    }
 }
 
 /// The JSON document one `--emit-shard` run prints: which shard it was
-/// plus its per-sweep ledgers (scenario sweeps and topology sweeps keep
-/// separate call-order cursors).
+/// plus its ledger — one record per sweep, in call order, grid and
+/// topology sweeps interleaved exactly as the selection ran them.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ShardEmission {
     /// Shard index of this run.
     pub shard: usize,
     /// Total shard count of the sharded sweep.
     pub of: usize,
-    /// One record per `sweep_worst` call, in call order.
-    pub sweeps: Vec<SweepRecord>,
-    /// One record per topology sweep, in call order.
-    pub topo: Vec<TopoRecord>,
+    /// One record per `sweep_recorded` call, in call order.
+    pub records: Vec<LedgerRecord>,
 }
 
-/// What `sweep_worst` should do for the next sweep.
+/// What `sweep_recorded` should do for the next sweep.
+#[derive(Debug)]
 pub(crate) enum SweepPlan {
-    /// No session: execute the whole grid (the ordinary path).
+    /// No session: execute the whole workload (the ordinary path).
     Full,
-    /// Execute only this shard of the grid and record the partial stats.
+    /// Execute only this shard of the workload and record the partials.
     Shard {
         /// Shard index.
         shard: usize,
@@ -86,44 +182,28 @@ pub(crate) enum SweepPlan {
     },
     /// Skip execution; this merged record is the sweep's result. (Boxed:
     /// a record is an order of magnitude larger than the other variants.)
-    Replay(Box<SweepRecord>),
-}
-
-/// What a topology sweep should do next — mirrors [`SweepPlan`] with the
-/// topo ledger's record type.
-pub(crate) enum TopoPlan {
-    /// No session: execute the whole topo grid.
-    Full,
-    /// Execute only this shard of the topo grid and record the partials.
-    Shard {
-        /// Shard index.
-        shard: usize,
-        /// Shard count.
-        of: usize,
-    },
-    /// Skip execution; this merged record is the sweep's result.
-    Replay(Box<TopoRecord>),
+    Replay(Box<LedgerRecord>),
 }
 
 enum Session {
     Shard {
         shard: usize,
         of: usize,
-        ledger: Vec<SweepRecord>,
-        topo_ledger: Vec<TopoRecord>,
+        ledger: Vec<LedgerRecord>,
     },
     Replay {
-        records: Vec<SweepRecord>,
+        records: Vec<LedgerRecord>,
         cursor: usize,
-        topo_records: Vec<TopoRecord>,
-        topo_cursor: usize,
+        /// Where the merged ledger came from (file list or spawn
+        /// description) — named in every replay diagnostic.
+        source: String,
     },
 }
 
 static SESSION: Mutex<Option<Session>> = Mutex::new(None);
 
 /// Switches this process into shard mode: every subsequent sweep executes
-/// only shard `shard` of `of` and records its partial stats.
+/// only shard `shard` of `of` and records its partial report.
 ///
 /// # Panics
 ///
@@ -136,7 +216,6 @@ pub fn begin_shard(shard: usize, of: usize) {
         shard,
         of,
         ledger: Vec::new(),
-        topo_ledger: Vec::new(),
     });
 }
 
@@ -148,36 +227,30 @@ pub fn begin_shard(shard: usize, of: usize) {
 pub fn finish_shard() -> ShardEmission {
     let mut session = SESSION.lock().expect("shard session poisoned");
     match session.take() {
-        Some(Session::Shard {
+        Some(Session::Shard { shard, of, ledger }) => ShardEmission {
             shard,
             of,
-            ledger,
-            topo_ledger,
-        }) => ShardEmission {
-            shard,
-            of,
-            sweeps: ledger,
-            topo: topo_ledger,
+            records: ledger,
         },
         _ => panic!("finish_shard without an active shard session"),
     }
 }
 
-/// Switches this process into replay mode over merged sweep records:
-/// every subsequent sweep (scenario or topology) consumes its ledger's
-/// next record instead of executing.
+/// Switches this process into replay mode over merged records: every
+/// subsequent sweep consumes the ledger's next record instead of
+/// executing. `source` says where the ledger came from (the merged file
+/// names, or a spawn description) and is named in every diagnostic.
 ///
 /// # Panics
 ///
 /// Panics if a session is already active.
-pub fn begin_replay(records: Vec<SweepRecord>, topo_records: Vec<TopoRecord>) {
+pub fn begin_replay(records: Vec<LedgerRecord>, source: String) {
     let mut session = SESSION.lock().expect("shard session poisoned");
     assert!(session.is_none(), "a sweep session is already active");
     *session = Some(Session::Replay {
         records,
         cursor: 0,
-        topo_records,
-        topo_cursor: 0,
+        source,
     });
 }
 
@@ -194,129 +267,127 @@ pub fn finish_replay() {
         Some(Session::Replay {
             records,
             cursor,
-            topo_records,
-            topo_cursor,
+            source,
         }) => {
             assert_eq!(
                 cursor,
                 records.len(),
-                "replay consumed {cursor} of {} merged sweeps — the shard runs \
-                 covered a different experiment selection than this merge run",
-                records.len()
-            );
-            assert_eq!(
-                topo_cursor,
-                topo_records.len(),
-                "replay consumed {topo_cursor} of {} merged topology sweeps — \
+                "replay consumed {cursor} of {} merged sweeps from {source} — \
                  the shard runs covered a different experiment selection than \
                  this merge run",
-                topo_records.len()
+                records.len()
             );
         }
         _ => panic!("finish_replay without an active replay session"),
     }
 }
 
-/// Decides how the next sweep runs; called by `sweep_worst` once per sweep.
+/// Decides how the next sweep runs; called by
+/// [`common::sweep_recorded`](crate::common::sweep_recorded) once per
+/// sweep. `meta` is the fingerprint of the workload about to sweep — in
+/// replay mode the ledger's next record must match it.
 ///
 /// # Panics
 ///
-/// Panics in replay mode when the merged ledger is exhausted.
-pub(crate) fn plan_sweep() -> SweepPlan {
+/// Panics in replay mode when the merged ledger is exhausted or its next
+/// record came from a different kind (or size) of sweep; the message
+/// names the sweep's position in the sequence, the expected versus found
+/// record, and the ledger's source.
+pub(crate) fn plan_sweep(meta: &WorkloadMeta) -> SweepPlan {
     let mut session = SESSION.lock().expect("shard session poisoned");
-    match session.as_mut() {
-        None => SweepPlan::Full,
-        Some(Session::Shard { shard, of, .. }) => SweepPlan::Shard {
+    // Diagnose inside the lock, panic outside it: a poisoned session
+    // would mask the actual diagnostic in every later caller.
+    let planned: Result<SweepPlan, String> = match session.as_mut() {
+        None => Ok(SweepPlan::Full),
+        Some(Session::Shard { shard, of, .. }) => Ok(SweepPlan::Shard {
             shard: *shard,
             of: *of,
-        },
+        }),
         Some(Session::Replay {
-            records, cursor, ..
-        }) => {
-            let record = records.get(*cursor).unwrap_or_else(|| {
-                panic!(
-                    "sweep #{} requested but the merged ledger holds only {} — \
-                     the shard runs covered a different experiment selection",
-                    *cursor,
-                    records.len()
-                )
-            });
-            *cursor += 1;
-            SweepPlan::Replay(Box::new(record.clone()))
-        }
-    }
+            records,
+            cursor,
+            source,
+        }) => match records.get(*cursor) {
+            None => Err(format!(
+                "sweep #{} ({}) requested but the merged ledger from {source} \
+                 holds only {} records — the shard runs covered a different \
+                 experiment selection",
+                *cursor,
+                describe_meta(meta),
+                records.len()
+            )),
+            Some(record) if !record.matches(meta) => Err(format!(
+                "sweep #{} expected a {} but the merged ledger from {source} \
+                 recorded a {} — shard and merge runs must use identical \
+                 experiment selections and flags",
+                *cursor,
+                describe_meta(meta),
+                record.describe()
+            )),
+            Some(record) => {
+                let plan = SweepPlan::Replay(Box::new(record.clone()));
+                *cursor += 1;
+                Ok(plan)
+            }
+        },
+    };
+    drop(session);
+    planned.unwrap_or_else(|msg| panic!("{msg}"))
 }
 
-/// Decides how the next **topology** sweep runs; called by the `x10`
-/// experiment once per topo sweep.
-///
-/// # Panics
-///
-/// Panics in replay mode when the merged topo ledger is exhausted.
-pub(crate) fn plan_topo_sweep() -> TopoPlan {
-    let mut session = SESSION.lock().expect("shard session poisoned");
-    match session.as_mut() {
-        None => TopoPlan::Full,
-        Some(Session::Shard { shard, of, .. }) => TopoPlan::Shard {
-            shard: *shard,
-            of: *of,
-        },
-        Some(Session::Replay {
-            topo_records,
-            topo_cursor,
-            ..
-        }) => {
-            let record = topo_records.get(*topo_cursor).unwrap_or_else(|| {
-                panic!(
-                    "topology sweep #{} requested but the merged ledger holds \
-                     only {} — the shard runs covered a different experiment \
-                     selection",
-                    *topo_cursor,
-                    topo_records.len()
-                )
-            });
-            *topo_cursor += 1;
-            TopoPlan::Replay(Box::new(record.clone()))
-        }
-    }
+/// Unconditionally clears any active session — the test-harness escape
+/// hatch for exercising replay **diagnostics**: a caught diagnostic
+/// panic leaves the (deliberately un-poisoned) session installed, and
+/// neither `finish_shard` nor `finish_replay` can retire it cleanly.
+/// The experiments binary never needs this.
+#[doc(hidden)]
+pub fn reset_session() {
+    *SESSION.lock().expect("shard session poisoned") = None;
 }
 
-/// Records one sweep's partial stats in shard mode; no-op outside it.
-pub(crate) fn record_shard_sweep(record: SweepRecord) {
+/// Records one sweep's partial report in shard mode; no-op outside it.
+pub(crate) fn record_sweep(record: LedgerRecord) {
     let mut session = SESSION.lock().expect("shard session poisoned");
     if let Some(Session::Shard { ledger, .. }) = session.as_mut() {
         ledger.push(record);
     }
 }
 
-/// Records one topology sweep's partial stats in shard mode; no-op
-/// outside it.
-pub(crate) fn record_topo_sweep(record: TopoRecord) {
-    let mut session = SESSION.lock().expect("shard session poisoned");
-    if let Some(Session::Shard { topo_ledger, .. }) = session.as_mut() {
-        topo_ledger.push(record);
-    }
-}
-
-/// The merged ledgers of all shards of one run: scenario sweeps and
-/// topology sweeps, each in call order.
+/// The merged ledger of all shards of one run: one full-sweep record per
+/// sweep, in call order, plus the provenance string replay diagnostics
+/// name.
 #[derive(Debug, Clone, Default)]
-pub struct MergedLedgers {
-    /// One full-sweep record per `sweep_worst` call.
-    pub sweeps: Vec<SweepRecord>,
-    /// One full-sweep record per topology sweep.
-    pub topo: Vec<TopoRecord>,
+pub struct MergedLedger {
+    /// One full-sweep record per `sweep_recorded` call.
+    pub records: Vec<LedgerRecord>,
+    /// Where the emissions came from (file names or spawn description).
+    pub source: String,
 }
 
 /// Merges the emissions of all `of` shards into one full-sweep ledger,
 /// validating that the inputs are exactly shards `0..of` of the same
-/// sweep sequence.
+/// sweep sequence. `names[i]` labels emission `i` (its file name, or a
+/// spawn description) so every inconsistency names the offending input.
 ///
 /// # Errors
 ///
 /// A human-readable description of any inconsistency: wrong shard set,
 /// disagreeing shard counts, or ledgers from different sweep sequences.
-pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<MergedLedgers, String> {
+///
+/// # Panics
+///
+/// Panics if `names.len() != emissions.len()` (a caller bug).
+pub fn merge_emissions(
+    emissions: Vec<ShardEmission>,
+    names: &[String],
+) -> Result<MergedLedger, String> {
+    assert_eq!(
+        emissions.len(),
+        names.len(),
+        "one name per emission, got {} names for {} emissions",
+        names.len(),
+        emissions.len()
+    );
     let Some(first) = emissions.first() else {
         return Err("no shard files given".into());
     };
@@ -327,98 +398,67 @@ pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<MergedLedger
             emissions.len()
         ));
     }
-    emissions.sort_by_key(|e| e.shard);
-    let first = &emissions[0];
-    for (i, e) in emissions.iter().enumerate() {
+    let mut emissions: Vec<(ShardEmission, &String)> =
+        emissions.into_iter().zip(names.iter()).collect();
+    emissions.sort_by_key(|(e, _)| e.shard);
+    let (first, _) = &emissions[0];
+    let expected_len = first.records.len();
+    for (i, (e, name)) in emissions.iter().enumerate() {
         if e.of != of {
             return Err(format!(
-                "shard file {i} says {} shards, another says {of}",
+                "{name} says {} shards, another emission says {of}",
                 e.of
             ));
         }
         if e.shard != i {
             return Err(format!(
-                "shard set is not exactly 0..{of}: found shard {} where {i} was expected \
-                 (missing or duplicate emission)",
+                "shard set is not exactly 0..{of}: found shard {} ({name}) where \
+                 {i} was expected (missing or duplicate emission)",
                 e.shard
             ));
         }
-        if e.sweeps.len() != first.sweeps.len() {
+        if e.records.len() != expected_len {
             return Err(format!(
-                "shard {} recorded {} sweeps but shard 0 recorded {} — \
+                "{name} (shard {}) recorded {} sweeps but shard 0 recorded {} — \
                  the runs used different experiment selections or flags",
                 e.shard,
-                e.sweeps.len(),
-                first.sweeps.len()
-            ));
-        }
-        if e.topo.len() != first.topo.len() {
-            return Err(format!(
-                "shard {} recorded {} topology sweeps but shard 0 recorded {} — \
-                 the runs used different experiment selections or flags",
-                e.shard,
-                e.topo.len(),
-                first.topo.len()
+                e.records.len(),
+                expected_len
             ));
         }
     }
-    let mut merged = MergedLedgers {
-        sweeps: Vec::with_capacity(first.sweeps.len()),
-        topo: Vec::with_capacity(first.topo.len()),
+    let mut merged = MergedLedger {
+        records: Vec::with_capacity(expected_len),
+        source: names.join(", "),
     };
-    for sweep_idx in 0..first.sweeps.len() {
-        let template = &emissions[0].sweeps[sweep_idx];
-        let mut stats = SweepStats::default();
-        for e in &emissions {
-            let record = &e.sweeps[sweep_idx];
-            if record.full_size != template.full_size || record.size != template.size {
+    for sweep_idx in 0..expected_len {
+        let template = &emissions[0].0.records[sweep_idx];
+        let mut report = SweepReport::default();
+        for (e, name) in &emissions {
+            let record = &e.records[sweep_idx];
+            if !record.matches(&template.meta()) {
                 return Err(format!(
-                    "sweep #{sweep_idx}: shard {} swept a {}-scenario grid but shard 0 \
-                     swept {} — the runs used different parameters",
-                    e.shard, record.size, template.size
+                    "sweep #{sweep_idx}: {name} (shard {}) recorded a {} but shard 0 \
+                     recorded a {} — the runs used different parameters",
+                    e.shard,
+                    record.describe(),
+                    template.describe()
                 ));
             }
-            stats = stats.merge(&record.stats);
+            report = report.merge(record.report());
         }
-        if stats.executed != template.size {
+        if report.executed() != template.size() {
             return Err(format!(
-                "sweep #{sweep_idx}: merged shards executed {} of {} scenarios — \
+                "sweep #{sweep_idx} ({}): merged shards executed {} of {} units — \
                  a shard is missing coverage",
-                stats.executed, template.size
+                template.describe(),
+                report.executed(),
+                template.size()
             ));
         }
-        merged.sweeps.push(SweepRecord {
-            full_size: template.full_size,
-            size: template.size,
-            stats,
-        });
-    }
-    for topo_idx in 0..first.topo.len() {
-        let template = &emissions[0].topo[topo_idx];
-        let mut stats = TopoStats::default();
-        for e in &emissions {
-            let record = &e.topo[topo_idx];
-            if record.size != template.size {
-                return Err(format!(
-                    "topology sweep #{topo_idx}: shard {} swept a {}-scenario topo \
-                     grid but shard 0 swept {} — the runs used different parameters",
-                    e.shard, record.size, template.size
-                ));
-            }
-            stats = stats.merge(&record.stats);
-        }
-        if stats.executed() != template.size {
-            return Err(format!(
-                "topology sweep #{topo_idx}: merged shards executed {} of {} \
-                 scenarios — a shard is missing coverage",
-                stats.executed(),
-                template.size
-            ));
-        }
-        merged.topo.push(TopoRecord {
-            size: template.size,
-            stats,
-        });
+        merged
+            .records
+            .push(LedgerRecord::new(template.meta(), report));
     }
     Ok(merged)
 }
@@ -426,122 +466,183 @@ pub fn merge_emissions(mut emissions: Vec<ShardEmission>) -> Result<MergedLedger
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rendezvous_runner::{GroupStats, Scenario, ScenarioOutcome};
 
-    fn record(executed: usize, size: usize) -> SweepRecord {
-        SweepRecord {
-            full_size: size,
-            size,
-            stats: SweepStats {
+    fn grid_record(executed: usize, size: usize) -> LedgerRecord {
+        let mut report = SweepReport::default();
+        if executed > 0 {
+            report.groups.push(GroupStats {
                 executed,
                 meetings: executed,
-                ..Default::default()
-            },
-        }
-    }
-
-    fn emission(shard: usize, of: usize, sweeps: Vec<SweepRecord>) -> ShardEmission {
-        ShardEmission {
-            shard,
-            of,
-            sweeps,
-            topo: vec![],
-        }
-    }
-
-    fn topo_record(per_family: &[(&str, usize)], size: usize) -> TopoRecord {
-        use rendezvous_runner::FamilyStats;
-        let mut stats = TopoStats::default();
-        for &(family, executed) in per_family {
-            stats.families.push(FamilyStats {
-                family: family.into(),
-                executed,
-                meetings: executed,
-                failures: 0,
-                max_time: 0,
-                max_cost: 0,
-                merges: 0,
-                time_violations: 0,
-                cost_violations: 0,
-                worst_time: None,
-                worst_cost: None,
-                worst_ratio: None,
+                ..GroupStats::default()
             });
         }
-        stats.families.sort_by(|a, b| a.family.cmp(&b.family));
-        TopoRecord { size, stats }
+        LedgerRecord::Grid {
+            full_size: size,
+            size,
+            report,
+        }
+    }
+
+    fn topo_record(per_family: &[(&str, usize)], size: usize) -> LedgerRecord {
+        let mut report = SweepReport::default();
+        for &(family, executed) in per_family {
+            report.groups.push(GroupStats {
+                key: family.into(),
+                executed,
+                meetings: executed,
+                ..GroupStats::default()
+            });
+        }
+        report.groups.sort_by(|a, b| a.key.cmp(&b.key));
+        LedgerRecord::Topo {
+            full_size: size,
+            size,
+            report,
+        }
+    }
+
+    fn emission(shard: usize, of: usize, records: Vec<LedgerRecord>) -> ShardEmission {
+        ShardEmission { shard, of, records }
+    }
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("s{i}.json")).collect()
     }
 
     #[test]
     fn merge_rejects_inconsistent_emissions() {
         // Wrong file count for the declared shard total.
         let e = emission(0, 3, vec![]);
-        assert!(merge_emissions(vec![e]).unwrap_err().contains("expected 3"));
-        // Duplicate shard indices.
+        assert!(merge_emissions(vec![e], &names(1))
+            .unwrap_err()
+            .contains("expected 3"));
+        // Duplicate shard indices — the error names the file.
         let dup = vec![emission(0, 2, vec![]), emission(0, 2, vec![])];
-        assert!(merge_emissions(dup).unwrap_err().contains("not exactly"));
+        let err = merge_emissions(dup, &names(2)).unwrap_err();
+        assert!(
+            err.contains("not exactly") && err.contains("s1.json"),
+            "{err}"
+        );
         // Mismatched sweep counts.
-        let uneven = vec![emission(0, 2, vec![record(1, 2)]), emission(1, 2, vec![])];
-        assert!(merge_emissions(uneven)
+        let uneven = vec![
+            emission(0, 2, vec![grid_record(1, 2)]),
+            emission(1, 2, vec![]),
+        ];
+        assert!(merge_emissions(uneven, &names(2))
             .unwrap_err()
             .contains("different experiment"));
+        // A grid sweep in one ledger facing a topo sweep in another.
+        let crossed = vec![
+            emission(0, 2, vec![grid_record(1, 2)]),
+            emission(1, 2, vec![topo_record(&[("ring", 1)], 2)]),
+        ];
+        let err = merge_emissions(crossed, &names(2)).unwrap_err();
+        assert!(
+            err.contains("topo sweep") && err.contains("grid sweep"),
+            "kind mismatch must name both kinds: {err}"
+        );
         // Coverage hole: shards together executed fewer than the grid.
         let hole = vec![
-            emission(0, 2, vec![record(1, 4)]),
-            emission(1, 2, vec![record(1, 4)]),
+            emission(0, 2, vec![grid_record(1, 4)]),
+            emission(1, 2, vec![grid_record(1, 4)]),
         ];
-        assert!(merge_emissions(hole)
+        assert!(merge_emissions(hole, &names(2))
             .unwrap_err()
             .contains("missing coverage"));
         // And a consistent pair merges.
         let good = vec![
-            emission(0, 2, vec![record(2, 4)]),
-            emission(1, 2, vec![record(2, 4)]),
+            emission(0, 2, vec![grid_record(2, 4)]),
+            emission(1, 2, vec![grid_record(2, 4)]),
         ];
-        let merged = merge_emissions(good).unwrap();
-        assert_eq!(merged.sweeps.len(), 1);
-        assert_eq!(merged.sweeps[0].stats.executed, 4);
-        assert!(merged.topo.is_empty());
+        let merged = merge_emissions(good, &names(2)).unwrap();
+        assert_eq!(merged.records.len(), 1);
+        assert_eq!(merged.records[0].report().executed(), 4);
+        assert_eq!(merged.source, "s0.json, s1.json");
     }
 
     #[test]
-    fn merge_validates_and_merges_topo_ledgers() {
-        // Mismatched topo sweep counts across shards.
-        let mut a = emission(0, 2, vec![]);
-        a.topo = vec![topo_record(&[("ring", 2)], 6)];
-        let b = emission(1, 2, vec![]);
-        assert!(merge_emissions(vec![a.clone(), b])
-            .unwrap_err()
-            .contains("topology sweeps"));
-        // Coverage hole in the topo ledger.
-        let mut short = emission(1, 2, vec![]);
-        short.topo = vec![topo_record(&[("ring", 2)], 6)];
-        assert!(merge_emissions(vec![a.clone(), short])
-            .unwrap_err()
-            .contains("missing coverage"));
-        // Consistent pair: families union, counts sum, size checks out.
-        let mut left = emission(0, 2, vec![]);
-        left.topo = vec![topo_record(&[("ring", 2), ("tree", 1)], 6)];
-        let mut right = emission(1, 2, vec![]);
-        right.topo = vec![topo_record(&[("tree", 3)], 6)];
-        let merged = merge_emissions(vec![left, right]).unwrap();
-        assert_eq!(merged.topo.len(), 1);
-        let stats = &merged.topo[0].stats;
-        assert_eq!(stats.executed(), 6);
-        assert_eq!(stats.family("ring").unwrap().executed, 2);
-        assert_eq!(stats.family("tree").unwrap().executed, 4);
+    fn merge_handles_mixed_grid_and_topo_ledgers_in_call_order() {
+        // One emission stream holding a pair-grid sweep, a topo sweep and
+        // a fleet-grid sweep — the x1–x11 shape in miniature.
+        let left = emission(
+            0,
+            2,
+            vec![
+                grid_record(2, 4),
+                topo_record(&[("ring", 2), ("tree", 1)], 6),
+                grid_record(1, 2),
+            ],
+        );
+        let right = emission(
+            1,
+            2,
+            vec![
+                grid_record(2, 4),
+                topo_record(&[("tree", 3)], 6),
+                grid_record(1, 2),
+            ],
+        );
+        let merged = merge_emissions(vec![left, right], &names(2)).unwrap();
+        assert_eq!(merged.records.len(), 3);
+        assert_eq!(merged.records[0].kind(), WorkloadKind::Grid);
+        assert_eq!(merged.records[1].kind(), WorkloadKind::Topo);
+        let topo = merged.records[1].report();
+        assert_eq!(topo.executed(), 6);
+        assert_eq!(topo.group("ring").unwrap().executed, 2);
+        assert_eq!(topo.group("tree").unwrap().executed, 4);
+        assert_eq!(merged.records[2].report().executed(), 2);
     }
 
+    // Replay diagnostics (ledger exhaustion, record-kind mismatch) are
+    // covered in `crates/bench/tests/ledger.rs`: they install the
+    // process-global session, which would race the other lib tests that
+    // sweep through `plan_sweep` concurrently in this binary.
+
     #[test]
-    fn emission_serde_round_trip() {
-        let mut e = emission(1, 3, vec![record(5, 15), record(7, 21)]);
-        e.topo = vec![topo_record(&[("ring", 4)], 12)];
+    fn emission_serde_round_trip_is_byte_identical() {
+        let mut fleet_report = SweepReport::default();
+        fleet_report.absorb(
+            "",
+            9,
+            None,
+            &ScenarioOutcome {
+                scenario: Scenario::pair(
+                    1,
+                    2,
+                    rendezvous_graph::NodeId::new(0),
+                    rendezvous_graph::NodeId::new(1),
+                    0,
+                    50,
+                ),
+                time: Some(31),
+                cost: 64,
+                crossings: 0,
+                time_bound: Some(90),
+                merges: 3,
+            },
+            None,
+        );
+        let e = emission(
+            1,
+            3,
+            vec![
+                grid_record(5, 15),
+                LedgerRecord::Grid {
+                    full_size: 40,
+                    size: 12,
+                    report: fleet_report,
+                },
+                topo_record(&[("ring", 4)], 12),
+            ],
+        );
         let text = serde_json::to_string_pretty(&e).unwrap();
         let back: ShardEmission = serde_json::from_str(&text).unwrap();
+        assert_eq!(serde_json::to_string_pretty(&back).unwrap(), text);
         assert_eq!(back.shard, 1);
         assert_eq!(back.of, 3);
-        assert_eq!(back.sweeps.len(), 2);
-        assert_eq!(back.sweeps[1].stats.executed, 7);
-        assert_eq!(back.topo.len(), 1);
-        assert_eq!(back.topo[0].stats.family("ring").unwrap().executed, 4);
+        assert_eq!(back.records.len(), 3);
+        assert_eq!(back.records[1].report().solo().merges, 3);
+        assert_eq!(back.records[2].report().group("ring").unwrap().executed, 4);
     }
 }

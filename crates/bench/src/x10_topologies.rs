@@ -11,18 +11,19 @@
 //! `E`. Per-family worst cases (time, cost, and time/bound ratio) come
 //! back with replayable `(spec, scenario)` witnesses.
 //!
-//! The sweep shards across processes exactly like the scenario sweeps:
+//! The sweep shards across processes exactly like the scenario sweeps —
+//! a [`TopoGrid`] is just another [`Workload`](rendezvous_runner::Workload):
 //! `experiments x10 --shard i/m --emit-shard` / `--merge-shards` carry
-//! per-shard [`TopoStats`] through the shard ledger, and the merged run
-//! is byte-identical to a direct one (CI-checked).
+//! per-shard [`SweepReport`]s through the unified shard ledger, and the
+//! merged run is byte-identical to a direct one (CI-checked).
 
 use crate::common::{markdown_table, standard_delays, standard_label_pairs};
 use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{spec_explorer, Explorer};
 use rendezvous_graph::{ErdosRenyiSpec, GraphSpec, RegularSpec, RingSpec, SeededSpec, TorusSpec};
 use rendezvous_runner::{
-    AlgorithmExecutor, Bounds, Grid, Runner, RunnerError, Scenario, ScenarioOutcome, TopoEntry,
-    TopoExecutor, TopoGrid, TopoStats,
+    AlgorithmExecutor, Bounds, Grid, PieceExecutor, Runner, RunnerError, ScenarioOutcome,
+    SweepReport, TopoEntry, TopoGrid, WorkPiece,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -80,7 +81,7 @@ enum Algo {
     Fast,
 }
 
-/// Per-entry executor: build the algorithm on the entry's cached graph
+/// Per-piece executor: build the algorithm on the piece's cached graph
 /// (`Arc` shared by all of the spec's scenarios) and the pre-resolved
 /// explorer (built once per spec by [`build_topo_grid`], shared by both
 /// algorithm sweeps — a `DfsMapExplorer` precomputes a walk per node, so
@@ -103,20 +104,20 @@ impl AlgoTopoExecutor {
     }
 }
 
-impl TopoExecutor for AlgoTopoExecutor {
-    fn run_entry(
+impl PieceExecutor for AlgoTopoExecutor {
+    fn run_piece(
         &self,
         runner: &Runner,
-        entry: &TopoEntry,
-        scenarios: &[Scenario],
-    ) -> Result<(Vec<ScenarioOutcome>, Bounds), RunnerError> {
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError> {
+        let entry = piece.entry.expect("topology pieces carry their entry");
         let alg = self.algorithm(entry);
         let bounds = Bounds {
             time: alg.time_bound(),
             cost: alg.cost_bound(),
         };
-        let outcomes = runner.outcomes(&AlgorithmExecutor::new(alg.as_ref()), scenarios)?;
-        Ok((outcomes, bounds))
+        let outcomes = runner.outcomes(&AlgorithmExecutor::new(alg.as_ref()), &piece.scenarios)?;
+        Ok((outcomes, Some(bounds)))
     }
 }
 
@@ -160,23 +161,28 @@ pub fn build_topo_grid(
 }
 
 /// Sweeps one algorithm over the topo grid through the shared
-/// [`common::sweep_topo_recorded`](crate::common::sweep_topo_recorded)
+/// [`common::sweep_recorded`](crate::common::sweep_recorded)
 /// shard/replay path, asserting the paper's bounds held everywhere.
 ///
 /// # Panics
 ///
 /// Panics if any execution fails, if any scenario misses its paper
-/// bounds (`TopoStats::clean`), or — in replay mode — if the merged
+/// bounds ([`SweepReport::clean`]), or — in replay mode — if the merged
 /// ledger came from a different sweep.
-fn sweep_topo_worst(topo: &TopoGrid, exec: &AlgoTopoExecutor, runner: &Runner) -> TopoStats {
-    let stats = crate::common::sweep_topo_recorded(topo, exec, runner);
+fn sweep_topo_worst(
+    context: &str,
+    topo: &TopoGrid,
+    exec: &AlgoTopoExecutor,
+    runner: &Runner,
+) -> SweepReport {
+    let report = crate::common::sweep_recorded(context, topo, exec, runner);
     assert!(
-        stats.clean(),
+        report.clean(),
         "paper bounds broken on a sampled topology: {} failures, {} violations",
-        stats.failures(),
-        stats.violations()
+        report.failures(),
+        report.violations()
     );
-    stats
+    report
 }
 
 /// One row of the X10 table: one family, both algorithms.
@@ -203,9 +209,9 @@ pub struct Row {
     pub fast_cost: u64,
 }
 
-fn ratio_cell(stats: &TopoStats, family: &str) -> String {
-    match stats.family(family).and_then(|f| f.worst_ratio.as_ref()) {
-        Some(w) => format!("{}/{}", w.time, w.time_bound),
+fn ratio_cell(report: &SweepReport, family: &str) -> String {
+    match report.group(family).and_then(|f| f.worst_ratio.as_ref()) {
+        Some(w) => w.ratio_label(),
         None => "-".into(),
     }
 }
@@ -216,10 +222,10 @@ fn ratio_cell(stats: &TopoStats, family: &str) -> String {
 pub struct Report {
     /// One row per family, sorted by family name.
     pub rows: Vec<Row>,
-    /// Full `Cheap` aggregates.
-    pub cheap: TopoStats,
-    /// Full `Fast` aggregates.
-    pub fast: TopoStats,
+    /// Full `Cheap` aggregates, grouped by family.
+    pub cheap: SweepReport,
+    /// Full `Fast` aggregates, grouped by family.
+    pub fast: SweepReport,
 }
 
 /// Runs X10: builds the topo grid over `specs`, sweeps `Cheap` and
@@ -234,6 +240,7 @@ pub fn run(specs: Vec<GraphSpec>, l: u64, cap: usize, runner: &Runner) -> Report
     let space = LabelSpace::new(l).expect("l >= 2");
     let (topo, explorers) = build_topo_grid(specs, l, cap);
     let cheap = sweep_topo_worst(
+        "x10 cheap",
         &topo,
         &AlgoTopoExecutor {
             space,
@@ -243,6 +250,7 @@ pub fn run(specs: Vec<GraphSpec>, l: u64, cap: usize, runner: &Runner) -> Report
         runner,
     );
     let fast = sweep_topo_worst(
+        "x10 fast",
         &topo,
         &AlgoTopoExecutor {
             space,
@@ -264,8 +272,8 @@ pub fn run(specs: Vec<GraphSpec>, l: u64, cap: usize, runner: &Runner) -> Report
     let rows = spec_counts
         .iter()
         .map(|(family, specs)| {
-            let c = cheap.family(family);
-            let f = fast.family(family);
+            let c = cheap.group(family);
+            let f = fast.group(family);
             Row {
                 family: family.clone(),
                 specs: *specs,

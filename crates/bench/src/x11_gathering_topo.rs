@@ -8,24 +8,24 @@
 //! configuration exercise: each [`GraphSpec`]'s entry in the
 //! [`TopoGrid`] is a **fleet-mode** [`Grid`] (fleet sizes × start
 //! rotations × delay phases, expanded by the standard [`FleetRule`]
-//! spread), executed by the [`GatheringExecutor`] and folded into
-//! per-family [`TopoStats`] — worst rounds, worst rounds/bound ratio
+//! spread), executed by the [`GatheringExecutor`] and folded into a
+//! per-family [`SweepReport`] — worst rounds, worst rounds/bound ratio
 //! (against each scenario's own merge-and-restart bound
 //! `(k−1)·(time bound + max delay)`, compared by exact `u128`
 //! cross-multiplication) and total merge events.
 //!
 //! The sweep shards across processes exactly like X10:
 //! `experiments x11 --shard i/m --emit-shard` / `--merge-shards` carry
-//! the per-shard [`TopoStats`] through the topo ledger, and the merged
-//! run is byte-identical to a direct one (CI-checked).
+//! the per-shard [`SweepReport`]s through the unified shard ledger, and
+//! the merged run is byte-identical to a direct one (CI-checked).
 
-use crate::common::{markdown_table, sweep_topo_recorded};
+use crate::common::{markdown_table, sweep_recorded};
 use rendezvous_core::{Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{spec_explorer, Explorer};
 use rendezvous_graph::GraphSpec;
 use rendezvous_runner::{
-    Bounds, FleetRule, GatheringExecutor, Grid, Runner, RunnerError, Scenario, ScenarioOutcome,
-    TopoEntry, TopoExecutor, TopoGrid, TopoStats,
+    Bounds, FleetRule, GatheringExecutor, Grid, PieceExecutor, Runner, RunnerError,
+    ScenarioOutcome, SweepReport, TopoGrid, WorkPiece,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -138,21 +138,21 @@ struct GatheringTopoExecutor {
     contexts: Arc<Vec<EntryContext>>,
 }
 
-impl TopoExecutor for GatheringTopoExecutor {
-    fn run_entry(
+impl PieceExecutor for GatheringTopoExecutor {
+    fn run_piece(
         &self,
         runner: &Runner,
-        entry: &TopoEntry,
-        scenarios: &[Scenario],
-    ) -> Result<(Vec<ScenarioOutcome>, Bounds), RunnerError> {
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError> {
+        let entry = piece.entry.expect("topology pieces carry their entry");
         let context = &self.contexts[entry.spec_index];
         let alg: Arc<dyn RendezvousAlgorithm> = Arc::new(Fast::new(
             entry.graph.clone(),
             Arc::clone(&context.explorer),
             self.space,
         ));
-        let outcomes = runner.outcomes(&GatheringExecutor::new(alg), scenarios)?;
-        Ok((outcomes, context.bounds))
+        let outcomes = runner.outcomes(&GatheringExecutor::new(alg), &piece.scenarios)?;
+        Ok((outcomes, Some(context.bounds)))
     }
 }
 
@@ -183,8 +183,8 @@ pub struct Row {
 pub struct Report {
     /// One row per family, sorted by family name.
     pub rows: Vec<Row>,
-    /// Full gathering aggregates.
-    pub stats: TopoStats,
+    /// Full gathering aggregates, grouped by family.
+    pub stats: SweepReport,
 }
 
 /// Runs X11: builds the gathering topo grid over `specs`, sweeps it
@@ -206,7 +206,12 @@ pub fn run(
 ) -> Report {
     let space = LabelSpace::new(l).expect("l >= 2");
     let (topo, contexts) = build_gathering_topo_grid(specs, l, ks, phases, cap);
-    let stats = sweep_topo_recorded(&topo, &GatheringTopoExecutor { space, contexts }, runner);
+    let stats = sweep_recorded(
+        "x11 gathering",
+        &topo,
+        &GatheringTopoExecutor { space, contexts },
+        runner,
+    );
     assert!(
         stats.clean(),
         "merge-and-restart bound broken on a sampled topology: {} failures, {} violations",
@@ -226,10 +231,10 @@ pub fn run(
     let rows = spec_counts
         .iter()
         .map(|(family, specs)| {
-            let f = stats.family(family);
+            let f = stats.group(family);
             let ratio = f
                 .and_then(|s| s.worst_ratio.as_ref())
-                .map_or_else(|| "-".into(), |w| format!("{}/{}", w.time, w.time_bound));
+                .map_or_else(|| "-".into(), rendezvous_runner::Witness::ratio_label);
             Row {
                 family: family.clone(),
                 specs: *specs,
@@ -316,12 +321,12 @@ mod tests {
             space: LabelSpace::new(4).unwrap(),
             contexts,
         };
-        let direct = Runner::sequential().sweep_topo(&topo, &exec).unwrap();
+        let direct = Runner::sequential().sweep(&topo, &exec).unwrap();
         for m in [2usize, 3] {
-            let mut merged = TopoStats::default();
+            let mut merged = SweepReport::default();
             for i in 0..m {
                 let shard = Runner::sequential()
-                    .sweep_topo_shard(&topo, i, m, &exec)
+                    .sweep_shard(&topo, i, m, &exec)
                     .unwrap();
                 merged = merged.merge(&shard);
             }

@@ -7,16 +7,17 @@
 //! shape: rounds grow at most linearly in `k`, never exceeding
 //! `(k−1) · (two-agent time bound + max delay)`.
 //!
-//! Since the `Scenario` redesign, X9 runs **through the Runner's grid
-//! path**: each fleet size is a [`Grid`] in fleet mode (the standard
-//! [`FleetRule`] spread × a delay-phase axis), executed by the
-//! [`GatheringExecutor`] and folded into [`SweepStats`] — which means
-//! gathering sweeps shard, merge and replay through the ledger exactly
-//! like the adversarial pair sweeps of X1–X8.
+//! Since the `Scenario` redesign, X9 runs **through the Runner's
+//! generic workload path**: each fleet size is a [`Grid`] in fleet mode
+//! (the standard [`FleetRule`] spread × a delay-phase axis), executed by
+//! the [`GatheringExecutor`] and folded into a
+//! [`SweepReport`](rendezvous_runner::SweepReport) — which means
+//! gathering sweeps shard, merge and replay through the unified ledger
+//! exactly like the adversarial pair sweeps of X1–X8.
 
 use crate::common::{ring_setup, sweep_recorded};
 use rendezvous_core::{Fast, LabelSpace, RendezvousAlgorithm};
-use rendezvous_runner::{FleetRule, GatheringExecutor, Grid, Runner, SweepStats};
+use rendezvous_runner::{FleetRule, GatheringExecutor, Grid, GroupStats, Runner};
 use serde::Serialize;
 use std::sync::Arc;
 
@@ -92,7 +93,7 @@ pub fn run(n: usize, l: u64, ks: &[usize], runner: &Runner) -> Vec<Row> {
                 .map(|s| executor.merge_restart_bound(s))
                 .max()
                 .expect("non-empty fleet grid");
-            let stats = sweep_recorded(&format!("x9 k={k}"), &grid, &executor, None, runner);
+            let stats = sweep_recorded(&format!("x9 k={k}"), &grid, &executor, runner).solo();
             row(n, k, loosest, &stats)
         })
         .collect()
@@ -103,7 +104,7 @@ pub fn run(n: usize, l: u64, ks: &[usize], runner: &Runner) -> Vec<Row> {
 /// stats may be a shard's **partial** fold (possibly empty — a shard of
 /// a 3-scenario grid is legitimately empty for m > 3), whose rows are
 /// never emitted; the ratio cell is `-` when no outcome carried one.
-fn row(n: usize, k: usize, loosest_bound: u64, stats: &SweepStats) -> Row {
+fn row(n: usize, k: usize, loosest_bound: u64, stats: &GroupStats) -> Row {
     assert_eq!(
         stats.failures, 0,
         "gathering must complete (k = {k}): {} of {} timed out",
@@ -116,7 +117,7 @@ fn row(n: usize, k: usize, loosest_bound: u64, stats: &SweepStats) -> Row {
     let ratio = stats
         .worst_ratio
         .as_ref()
-        .map_or_else(|| "-".into(), |w| format!("{}/{}", w.time, w.time_bound));
+        .map_or_else(|| "-".into(), rendezvous_runner::Witness::ratio_label);
     Row {
         n,
         k,
@@ -207,7 +208,7 @@ mod tests {
     /// emitted) must build cleanly instead.
     #[test]
     fn x9_rows_tolerate_empty_shard_partials() {
-        let empty = SweepStats::default();
+        let empty = GroupStats::default();
         let r = row(12, 4, 858, &empty);
         assert_eq!(r.ratio, "-");
         assert_eq!((r.scenarios, r.rounds, r.cost, r.merges), (0, 0, 0, 0));
@@ -217,7 +218,7 @@ mod tests {
     /// merges back to the identical table rows.
     #[test]
     fn x9_shard_merge_reproduces_the_direct_rows() {
-        use rendezvous_runner::SweepStats;
+        use rendezvous_runner::SweepReport;
         let (n, l, ks) = (9, 16, [2usize, 3]);
         let (g, ex) = ring_setup(n);
         let space = LabelSpace::new(l).unwrap();
@@ -230,13 +231,11 @@ mod tests {
                 .fleet_sizes(&[k])
                 .fleet_rule(rule.clone())
                 .delays(&standard_phases());
-            let direct = Runner::sequential()
-                .sweep(&executor, &grid.scenarios())
-                .unwrap();
-            let mut merged = SweepStats::default();
+            let direct = Runner::sequential().sweep(&grid, &executor).unwrap();
+            let mut merged = SweepReport::default();
             for i in 0..3 {
                 let shard = Runner::sequential()
-                    .sweep_shard(&executor, &grid.shard(i, 3), None)
+                    .sweep_shard(&grid, i, 3, &executor)
                     .unwrap();
                 merged = merged.merge(&shard);
             }

@@ -1,0 +1,234 @@
+//! The unified shard ledger, end-to-end in one process: a sweep sequence
+//! mixing all three workload shapes — a pair grid, a gathering fleet
+//! grid, and a topology sweep — emitted as one [`LedgerRecord`] stream
+//! per shard, merged, and replayed. For every m ∈ {2, 3, 7} the replayed
+//! reports must equal the direct run **byte for byte** as JSON: the
+//! single-cursor ledger has to keep grid and topo records in call order,
+//! or the x1–x11 `--shard`/`--merge-shards` pipeline would come apart.
+//!
+//! Replay diagnostics live here too: they install the process-global
+//! sharding session, so every test in this binary serializes on one
+//! lock instead of racing the session.
+
+use rendezvous_bench::common::sweep_recorded;
+use rendezvous_bench::sharding::{self, ShardEmission};
+use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
+use rendezvous_explore::{spec_explorer, OrientedRingExplorer};
+use rendezvous_graph::{generators, GraphSpec, RingSpec, SeededSpec};
+use rendezvous_runner::{
+    AlgorithmExecutor, Bounded, Bounds, FleetRule, GatheringExecutor, Grid, PieceExecutor, Runner,
+    RunnerError, ScenarioOutcome, SweepReport, TopoGrid, WorkPiece, WorkloadKind,
+};
+use std::sync::{Arc, Mutex};
+
+/// All tests in this binary mutate the process-global sharding session;
+/// they serialize on this lock (a poisoned lock just means an earlier
+/// test already failed, so keep going with its guard).
+static SESSION_TESTS: Mutex<()> = Mutex::new(());
+
+/// Minimal topology piece executor (the x10 shape): build `Cheap` on the
+/// piece's cached graph, report its paper bounds.
+struct CheapTopo {
+    l: u64,
+}
+
+impl PieceExecutor for CheapTopo {
+    fn run_piece(
+        &self,
+        runner: &Runner,
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError> {
+        let entry = piece.entry.expect("topology pieces carry their entry");
+        let explorer = spec_explorer(&entry.spec, entry.graph.clone())
+            .map_err(|e| RunnerError::new(e.to_string()))?;
+        let alg = Cheap::new(
+            entry.graph.clone(),
+            explorer,
+            LabelSpace::new(self.l).expect("l >= 2"),
+        );
+        let bounds = Bounds {
+            time: rendezvous_core::RendezvousAlgorithm::time_bound(&alg),
+            cost: rendezvous_core::RendezvousAlgorithm::cost_bound(&alg),
+        };
+        let outcomes = runner.outcomes(&AlgorithmExecutor::new(&alg), &piece.scenarios)?;
+        Ok((outcomes, Some(bounds)))
+    }
+}
+
+/// One deterministic sweep sequence through the recorded path: pair grid,
+/// fleet grid, topology grid — every workload shape the experiments run,
+/// in one emission stream.
+fn run_sequence(runner: &Runner) -> Vec<SweepReport> {
+    let mut reports = Vec::new();
+
+    // 1. A pair sweep with sweep-level bounds (the x1–x8 shape).
+    let g = Arc::new(generators::oriented_ring(6).unwrap());
+    let ex = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let cheap = Cheap::new(g.clone(), ex.clone(), LabelSpace::new(4).unwrap());
+    let bounds = Some(Bounds {
+        time: cheap.time_bound(),
+        cost: cheap.cost_bound(),
+    });
+    let pair_grid = Grid::new(4 * cheap.time_bound())
+        .label_pairs_both_orders(&[(1, 4), (2, 3)])
+        .delays(&[0, 2])
+        .all_start_pairs(&g);
+    let executor = AlgorithmExecutor::new(&cheap);
+    reports.push(sweep_recorded(
+        "ledger pair",
+        &pair_grid,
+        &Bounded::new(&executor, bounds),
+        runner,
+    ));
+
+    // 2. A gathering fleet sweep with per-scenario bounds (the x9 shape).
+    let g8 = Arc::new(generators::oriented_ring(8).unwrap());
+    let ex8 = Arc::new(OrientedRingExplorer::new(g8.clone()).unwrap());
+    let fast: Arc<dyn RendezvousAlgorithm> =
+        Arc::new(Fast::new(g8.clone(), ex8, LabelSpace::new(8).unwrap()));
+    let rule = FleetRule::spread(&g8, 8);
+    let horizon = 4 * 2 * (fast.time_bound() + rule.max_delay());
+    let fleet_grid = Grid::new(horizon)
+        .fleet_sizes(&[2, 3])
+        .fleet_rule(rule)
+        .fleet_rotations(&[0, 1])
+        .delays(&[0, 5]);
+    reports.push(sweep_recorded(
+        "ledger fleet",
+        &fleet_grid,
+        &GatheringExecutor::new(fast),
+        runner,
+    ));
+
+    // 3. A topology sweep (the x10 shape), small but multi-family.
+    let specs = vec![
+        GraphSpec::Ring(RingSpec { n: 5 }),
+        GraphSpec::ScrambledRing(SeededSpec { n: 5, seed: 3 }),
+        GraphSpec::Tree(SeededSpec { n: 6, seed: 4 }),
+        GraphSpec::Ring(RingSpec { n: 6 }),
+    ];
+    let topo = TopoGrid::build(specs, |_, g| {
+        Grid::new(400)
+            .label_pairs_both_orders(&[(1, 3)])
+            .delays(&[0, 2])
+            .all_start_pairs(g)
+            .sample_cap(9)
+    })
+    .expect("specs build");
+    reports.push(sweep_recorded(
+        "ledger topo",
+        &topo,
+        &CheapTopo { l: 3 },
+        runner,
+    ));
+
+    reports
+}
+
+fn to_json(reports: &[SweepReport]) -> Vec<String> {
+    reports
+        .iter()
+        .map(|r| serde_json::to_string(r).expect("serializable report"))
+        .collect()
+}
+
+#[test]
+fn mixed_ledger_shard_merge_replays_byte_identically_for_m_2_3_7() {
+    let _serial = SESSION_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+    let runner = Runner::sequential();
+    // Direct run — no session.
+    let direct = run_sequence(&runner);
+    let direct_json = to_json(&direct);
+    assert!(direct.iter().all(SweepReport::clean));
+
+    for m in [2usize, 3, 7] {
+        // Shard pass: one emission per shard, each a single mixed
+        // record stream, crossing the "process boundary" as JSON.
+        let emissions: Vec<ShardEmission> = (0..m)
+            .map(|i| {
+                sharding::begin_shard(i, m);
+                let partials = run_sequence(&runner);
+                let emission = sharding::finish_shard();
+                assert_eq!(partials.len(), 3);
+                assert_eq!(emission.records.len(), 3, "one record per sweep");
+                assert_eq!(emission.records[0].kind(), WorkloadKind::Grid);
+                assert_eq!(emission.records[1].kind(), WorkloadKind::Grid);
+                assert_eq!(emission.records[2].kind(), WorkloadKind::Topo);
+                let json = serde_json::to_string(&emission).expect("serializable");
+                serde_json::from_str(&json).expect("round trip")
+            })
+            .collect();
+        let names: Vec<String> = (0..m).map(|i| format!("shard{i}.json")).collect();
+        let merged = sharding::merge_emissions(emissions, &names).expect("consistent shards");
+
+        // The merged records alone must already equal the direct folds.
+        let merged_json: Vec<String> = merged
+            .records
+            .iter()
+            .map(|r| serde_json::to_string(r.report()).expect("serializable"))
+            .collect();
+        assert_eq!(merged_json, direct_json, "merged records differ (m = {m})");
+
+        // Replay pass: the sequence consumes the merged ledger instead of
+        // executing, and must reproduce the direct reports byte for byte.
+        sharding::begin_replay(merged.records, merged.source);
+        let replayed = run_sequence(&runner);
+        sharding::finish_replay();
+        assert_eq!(
+            to_json(&replayed),
+            direct_json,
+            "replayed reports differ (m = {m})"
+        );
+    }
+}
+
+/// The satellite diagnostics: ledger exhaustion and record/sweep kind
+/// mismatches must name the sweep's position in the sequence, the
+/// expected versus found record kind, and the ledger's source — through
+/// the real `sweep_recorded` path, not a fabricated plan.
+#[test]
+fn replay_diagnostics_name_position_kind_and_source() {
+    let _serial = SESSION_TESTS.lock().unwrap_or_else(|e| e.into_inner());
+    let runner = Runner::sequential();
+    // A genuine single-shard emission of the mixed sequence: one Grid,
+    // one Grid (fleet), one Topo record, fingerprints intact.
+    sharding::begin_shard(0, 1);
+    let _ = run_sequence(&runner);
+    let records = sharding::finish_shard().records;
+    assert_eq!(records.len(), 3);
+
+    fn caught(run: impl FnOnce() + std::panic::UnwindSafe) -> String {
+        let err = std::panic::catch_unwind(run).expect_err("diagnostic must panic");
+        // A caught diagnostic leaves the session installed; retire it so
+        // the next scenario starts clean.
+        sharding::reset_session();
+        err.downcast_ref::<String>()
+            .cloned()
+            .expect("diagnostics panic with a formatted message")
+    }
+
+    // Exhaustion: the merged ledger holds only the first record, but the
+    // sequence asks for three sweeps.
+    sharding::begin_replay(vec![records[0].clone()], "a.json, b.json".into());
+    let msg = caught(std::panic::AssertUnwindSafe(|| {
+        let _ = run_sequence(&runner);
+    }));
+    assert!(
+        msg.contains("sweep #1") && msg.contains("holds only 1") && msg.contains("a.json, b.json"),
+        "exhaustion must name the position, ledger length and source: {msg}"
+    );
+
+    // Kind mismatch: the first sweep of the sequence is a grid sweep,
+    // but the ledger leads with the topo record.
+    sharding::begin_replay(vec![records[2].clone()], "c.json".into());
+    let msg = caught(std::panic::AssertUnwindSafe(|| {
+        let _ = run_sequence(&runner);
+    }));
+    assert!(
+        msg.contains("sweep #0")
+            && msg.contains("expected a grid sweep")
+            && msg.contains("recorded a topo sweep")
+            && msg.contains("c.json"),
+        "mismatch must name position, both kinds and the source: {msg}"
+    );
+}

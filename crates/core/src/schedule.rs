@@ -256,6 +256,128 @@ impl ScheduleBehavior {
     }
 }
 
+/// A schedule fully unrolled from a fixed start node: every round's
+/// action precomputed into one flat array, so an agent's per-round
+/// decision phase is an **indexed load** instead of phase bookkeeping
+/// plus an explorer-run step.
+///
+/// Everything a [`ScheduleBehavior`] does is a deterministic function of
+/// `(schedule, start)` — the observation stream never influences its
+/// moves — so the whole action sequence can be compiled once and replayed
+/// by [`FlatPlan::behavior`]. Sweep workloads revisit each `(label,
+/// start)` pair across every delay and partner choice of the grid, which
+/// is exactly the reuse the
+/// [`AlgorithmExecutor`](../../rendezvous_runner/struct.AlgorithmExecutor.html)
+/// cache exploits.
+///
+/// The compiler *is* a [`ScheduleBehavior`] driven round by round, so the
+/// flat plan is equal to the stepped execution by construction — the
+/// equivalence test below and the byte-identical experiment outputs both
+/// rest on that.
+#[derive(Debug, Clone)]
+pub struct FlatPlan {
+    actions: Vec<Action>,
+    end_position: NodeId,
+}
+
+impl FlatPlan {
+    /// Compiles the flat action array of `schedule` from `start` by
+    /// stepping a [`ScheduleBehavior`] through every round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is not a node of `graph`.
+    #[must_use]
+    pub fn compile(
+        graph: Arc<PortLabeledGraph>,
+        schedule: Arc<Schedule>,
+        start: NodeId,
+    ) -> FlatPlan {
+        let total = schedule.total_rounds();
+        let mut behavior = ScheduleBehavior::with_shared(Arc::clone(&graph), schedule, start);
+        let mut actions = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+        for round in 0..total {
+            // The behavior reads only the degree from its observation
+            // (it tracks position and entry ports internally), so the
+            // synthesized observation needs nothing else.
+            actions.push(behavior.next_action(Observation {
+                local_round: round,
+                degree: graph.degree(behavior.position()),
+                entry_port: None,
+            }));
+        }
+        FlatPlan {
+            actions,
+            end_position: behavior.position(),
+        }
+    }
+
+    /// The compiled per-round actions, in schedule order.
+    #[must_use]
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Total rounds the plan covers (= the schedule's total rounds).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` for a zero-round plan.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Where the agent stands after the full plan has executed.
+    #[must_use]
+    pub fn end_position(&self) -> NodeId {
+        self.end_position
+    }
+
+    /// A behavior replaying this plan from its first round.
+    #[must_use]
+    pub fn behavior(self: &Arc<Self>) -> FlatPlanBehavior {
+        FlatPlanBehavior {
+            plan: Arc::clone(self),
+            cursor: 0,
+        }
+    }
+}
+
+/// Replays a compiled [`FlatPlan`]: each round is one array load and a
+/// cursor increment. After the plan is exhausted the agent stays idle
+/// forever, exactly like an exhausted [`ScheduleBehavior`].
+pub struct FlatPlanBehavior {
+    /// Shared, not owned: sweep executors compile a `(label, start)`
+    /// plan once and hand the same `Arc` to thousands of behaviors.
+    plan: Arc<FlatPlan>,
+    cursor: usize,
+}
+
+impl fmt::Debug for FlatPlanBehavior {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlatPlanBehavior")
+            .field("rounds", &self.plan.len())
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}
+
+impl AgentBehavior for FlatPlanBehavior {
+    fn next_action(&mut self, _observation: Observation) -> Action {
+        let action = self
+            .plan
+            .actions
+            .get(self.cursor)
+            .copied()
+            .unwrap_or(Action::Stay);
+        self.cursor += 1;
+        action
+    }
+}
+
 impl AgentBehavior for ScheduleBehavior {
     fn next_action(&mut self, observation: Observation) -> Action {
         self.settle();
@@ -400,6 +522,48 @@ mod tests {
         // ℓ = 1: M(1) = 1101 -> T = 1 11 11 00 11 -> E EE EE ww EE
         let s = alg.schedule(Label::new(1).unwrap()).unwrap();
         assert_eq!(s.describe(), "EEEEEwwEE");
+    }
+
+    /// The flat plan is defined as the stepped execution: for every
+    /// (algorithm, label, start) triple here, replaying the compiled
+    /// array move for move matches driving the `ScheduleBehavior`, and
+    /// both agree on the final position. The sweep executors' byte-identical
+    /// outputs rest on this equivalence.
+    #[test]
+    fn flat_plan_replays_the_stepped_schedule_exactly() {
+        use crate::{Cheap, Fast, Label, LabelSpace, RendezvousAlgorithm};
+        use rendezvous_explore::DfsMapExplorer;
+        let g = Arc::new(generators::grid(3, 3).unwrap());
+        let ex = Arc::new(DfsMapExplorer::new(g.clone()));
+        let space = LabelSpace::new(8).unwrap();
+        let algs: Vec<Box<dyn RendezvousAlgorithm>> = vec![
+            Box::new(Cheap::new(g.clone(), ex.clone(), space)),
+            Box::new(Fast::new(g.clone(), ex.clone(), space)),
+        ];
+        for alg in &algs {
+            for label in [1u64, 5, 8] {
+                let schedule = Arc::new(alg.schedule(Label::new(label).unwrap()).unwrap());
+                for start in 0..g.node_count() {
+                    let start = NodeId::new(start);
+                    let plan = Arc::new(FlatPlan::compile(g.clone(), Arc::clone(&schedule), start));
+                    let rounds = schedule.total_rounds();
+                    let mut stepped =
+                        ScheduleBehavior::with_shared(g.clone(), Arc::clone(&schedule), start);
+                    let step_trace = run_solo(&g, &mut stepped, start, rounds).unwrap();
+                    let mut flat = plan.behavior();
+                    let flat_trace = run_solo(&g, &mut flat, start, rounds).unwrap();
+                    assert_eq!(flat_trace.actions, step_trace.actions);
+                    assert_eq!(flat_trace.positions, step_trace.positions);
+                    assert_eq!(plan.len() as u64, rounds);
+                    assert_eq!(plan.end_position(), *step_trace.positions.last().unwrap());
+                    // Past the end, the plan idles forever like an
+                    // exhausted schedule.
+                    let mut tail = plan.behavior();
+                    let long = run_solo(&g, &mut tail, start, rounds + 7).unwrap();
+                    assert!(long.actions[rounds as usize..].iter().all(|a| !a.is_move()));
+                }
+            }
+        }
     }
 
     #[test]

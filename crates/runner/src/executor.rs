@@ -1,7 +1,8 @@
 //! How a [`Scenario`] becomes an execution: pluggable executors.
 
 use crate::{Scenario, ScenarioOutcome};
-use rendezvous_core::{CoreError, Label, RendezvousAlgorithm, Schedule, ScheduleBehavior};
+use rendezvous_core::{CoreError, FlatPlan, Label, RendezvousAlgorithm, Schedule};
+use rendezvous_graph::NodeId;
 use rendezvous_sim::{AgentBehavior, AgentSpec, MeetingCondition, SimError, Simulation};
 use std::collections::HashMap;
 use std::fmt;
@@ -54,15 +55,20 @@ pub trait Executor: Sync {
 /// Executes scenarios against a [`RendezvousAlgorithm`]: each agent runs
 /// the schedule the algorithm compiles for its label.
 ///
-/// Schedule compilation is **memoized per executor**: a sweep revisits
-/// each label across thousands of start pairs and delays, so the executor
-/// compiles `label → Arc<Schedule>` once and shares the compiled plan with
-/// every behavior it builds. The cache is write-once per label and safe to
-/// hit from the [`Runner`](crate::Runner)'s worker threads; since
-/// compilation is deterministic, concurrent first hits race benignly.
+/// Compilation is **memoized per executor**, at two levels. A sweep
+/// revisits each label across thousands of start pairs and delays, so
+/// the executor compiles `label → Arc<Schedule>` once; and because a
+/// schedule's whole execution is a deterministic function of its start
+/// node, it further unrolls `(label, start) → Arc<FlatPlan>` — the flat
+/// action array that turns every agent's per-round decision phase into
+/// an indexed load (see [`FlatPlan`]). Both caches are write-once per
+/// key and safe to hit from the [`Runner`](crate::Runner)'s worker
+/// threads; since compilation is deterministic, concurrent first hits
+/// race benignly.
 pub struct AlgorithmExecutor<'a> {
     algorithm: &'a dyn RendezvousAlgorithm,
     schedules: RwLock<HashMap<u64, Arc<Schedule>>>,
+    plans: RwLock<HashMap<(u64, NodeId), Arc<FlatPlan>>>,
 }
 
 impl<'a> AlgorithmExecutor<'a> {
@@ -72,6 +78,7 @@ impl<'a> AlgorithmExecutor<'a> {
         AlgorithmExecutor {
             algorithm,
             schedules: RwLock::new(HashMap::new()),
+            plans: RwLock::new(HashMap::new()),
         }
     }
 
@@ -97,6 +104,30 @@ impl<'a> AlgorithmExecutor<'a> {
         Ok(Arc::clone(cache.entry(label_value).or_insert(compiled)))
     }
 
+    /// The flat action plan for `(label_value, start)` — the label's
+    /// compiled schedule unrolled from that start node — memoized across
+    /// scenarios. A pair grid revisits each `(label, start)` across every
+    /// delay and every partner configuration, so the unroll amortizes the
+    /// same way the schedule compile does one level up.
+    ///
+    /// # Errors
+    ///
+    /// See [`AlgorithmExecutor::schedule`].
+    pub fn plan(&self, label_value: u64, start: NodeId) -> Result<Arc<FlatPlan>, RunnerError> {
+        let key = (label_value, start);
+        if let Some(p) = self.plans.read().expect("plan cache poisoned").get(&key) {
+            return Ok(Arc::clone(p));
+        }
+        let schedule = self.schedule(label_value)?;
+        let compiled = Arc::new(FlatPlan::compile(
+            Arc::clone(self.algorithm.graph()),
+            schedule,
+            start,
+        ));
+        let mut cache = self.plans.write().expect("plan cache poisoned");
+        Ok(Arc::clone(cache.entry(key).or_insert(compiled)))
+    }
+
     /// Number of distinct labels compiled so far (cache size).
     #[must_use]
     pub fn compiled_labels(&self) -> usize {
@@ -105,22 +136,24 @@ impl<'a> AlgorithmExecutor<'a> {
             .expect("schedule cache poisoned")
             .len()
     }
+
+    /// Number of distinct `(label, start)` flat plans unrolled so far.
+    #[must_use]
+    pub fn compiled_plans(&self) -> usize {
+        self.plans.read().expect("plan cache poisoned").len()
+    }
 }
 
 impl Executor for AlgorithmExecutor<'_> {
     fn run(&self, scenario: &Scenario) -> Result<ScenarioOutcome, RunnerError> {
         require_pair(scenario, "AlgorithmExecutor")?;
         let graph = self.algorithm.graph();
-        let a = ScheduleBehavior::with_shared(
-            Arc::clone(graph),
-            self.schedule(scenario.first_label())?,
-            scenario.start_a(),
-        );
-        let b = ScheduleBehavior::with_shared(
-            Arc::clone(graph),
-            self.schedule(scenario.second_label())?,
-            scenario.start_b(),
-        );
+        let a = self
+            .plan(scenario.first_label(), scenario.start_a())?
+            .behavior();
+        let b = self
+            .plan(scenario.second_label(), scenario.start_b())?
+            .behavior();
         let outcome = Simulation::new(graph)
             .agent(
                 Box::new(a),
@@ -215,11 +248,10 @@ where
 /// Each outcome carries the merge-and-restart analytic bound
 /// `(k−1) · (time bound + max delay)` as its per-scenario
 /// [`time_bound`](crate::ScenarioOutcome::time_bound), so
-/// [`SweepStats`](crate::SweepStats) and
-/// [`TopoStats`](crate::TopoStats) judge violations and the worst
-/// rounds/bound ratio against the bound that actually applies to that
-/// fleet — a sweep-level [`Bounds`](crate::Bounds) pair cannot express
-/// it.
+/// [`SweepReport`](crate::SweepReport) folds judge violations and the
+/// worst rounds/bound ratio against the bound that actually applies to
+/// that fleet — a sweep-level [`Bounds`](crate::Bounds) pair cannot
+/// express it.
 pub struct GatheringExecutor {
     algorithm: Arc<dyn RendezvousAlgorithm>,
 }

@@ -1,5 +1,6 @@
 //! Declarative enumeration of adversarial sweeps.
 
+use crate::workload::{WorkPiece, Workload, WorkloadKind, WorkloadMeta};
 use crate::{Placement, Scenario};
 use rendezvous_graph::{NodeId, PortLabeledGraph};
 
@@ -369,7 +370,7 @@ impl Grid {
     ///
     /// Enumeration order is label pair (outer) → start pair → delay
     /// (inner); the order is part of the contract, since
-    /// [`SweepStats`](crate::SweepStats) tie-breaks worst-case witnesses
+    /// [`SweepReport`](crate::SweepReport) tie-breaks worst-case witnesses
     /// by scenario index.
     #[must_use]
     pub fn scenarios(&self) -> Vec<Scenario> {
@@ -393,35 +394,49 @@ impl Grid {
         );
         (lo..hi).map(|i| self.capped_nth(i)).collect()
     }
+}
 
-    /// Materializes shard `shard` of `of` — a contiguous slice of the
-    /// (capped) scenario list, tagged with the global index of its first
-    /// scenario so shard sweeps can fold witnesses at their true indices.
-    ///
-    /// The `of` shards partition [`Grid::scenarios`] exactly: same order,
-    /// no overlap, nothing dropped, and the sampling cap is applied
-    /// *before* sharding — so merging the shard sweeps of a capped grid
-    /// reproduces the capped single-process sweep bit for bit. Shards are
-    /// balanced to within one scenario; when the grid holds fewer
-    /// scenarios than `of`, trailing shards are empty (still valid).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `of == 0` or `shard >= of`.
-    #[must_use]
-    pub fn shard(&self, shard: usize, of: usize) -> ScenarioShard {
-        assert!(of > 0, "cannot split a grid into zero shards");
-        assert!(
-            shard < of,
-            "shard index {shard} out of range for {of} shards"
-        );
-        let len = self.size();
-        let lo = strided(shard, len, of);
-        let hi = strided(shard + 1, len, of);
-        ScenarioShard {
-            offset: lo,
-            scenarios: (lo..hi).map(|i| self.capped_nth(i)).collect(),
+/// A [`Grid`] is the elementary [`Workload`]: one graph, an index-stable
+/// capped scenario list, and a single piece per range (every scenario
+/// shares the grid's one context, so the fold key is empty and the
+/// report has one group).
+///
+/// The sampling cap is applied *before* sharding — so merging the shard
+/// sweeps of a capped grid reproduces the capped single-process sweep
+/// bit for bit, and shards stay balanced to within one scenario (when
+/// the grid holds fewer scenarios than shards, trailing shards are empty
+/// but still valid).
+impl Workload for Grid {
+    fn size(&self) -> usize {
+        Grid::size(self)
+    }
+
+    fn meta(&self) -> WorkloadMeta {
+        WorkloadMeta {
+            kind: WorkloadKind::Grid,
+            full_size: self.full_size(),
+            size: self.size(),
         }
+    }
+
+    fn pieces(&self, lo: usize, hi: usize) -> Vec<WorkPiece<'_>> {
+        // Validate even the empty range, like scenarios_in (and the
+        // TopoGrid impl) would — a silent empty sweep from an
+        // out-of-bounds range is exactly the bug the contract forbids.
+        assert!(
+            lo <= hi && hi <= self.size(),
+            "scenario range {lo}..{hi} out of bounds for a grid of {}",
+            self.size()
+        );
+        if lo == hi {
+            return Vec::new();
+        }
+        vec![WorkPiece {
+            offset: lo,
+            key: "",
+            entry: None,
+            scenarios: self.scenarios_in(lo, hi),
+        }]
     }
 }
 
@@ -435,29 +450,12 @@ fn product_size(a: usize, b: usize, c: usize) -> usize {
 
 /// Balanced-partition stride: the start of slice `i` when `total` items
 /// are divided into `cap` contiguous near-equal slices (also the sampling
-/// stride of [`Grid::sample_cap`]). Shared by [`Grid::shard`] and
-/// [`TopoGrid::shard`](crate::TopoGrid::shard) so the two subsystems cut
-/// their index spaces identically.
+/// stride of [`Grid::sample_cap`]). This is the default
+/// [`Workload::shard`] rule, so every workload kind cuts its index space
+/// identically.
 pub(crate) fn strided(i: usize, total: usize, cap: usize) -> usize {
     usize::try_from(i as u128 * total as u128 / cap as u128)
         .expect("stride result is below `total`, which fits usize")
-}
-
-/// One shard of a grid's scenario list: the scenarios plus the global
-/// index of the first one, produced by [`Grid::shard`].
-///
-/// The offset is what keeps multi-process sweeps byte-deterministic:
-/// [`Runner::sweep_shard`](crate::Runner::sweep_shard) folds each outcome
-/// at index `offset + position`, so worst-case witnesses carry the same
-/// indices they would in the unsharded sweep and
-/// [`SweepStats::merge`](crate::SweepStats::merge) can apply the
-/// lowest-index tie-break globally.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ScenarioShard {
-    /// Global (capped-list) index of `scenarios[0]`.
-    pub offset: usize,
-    /// The shard's contiguous slice of the capped scenario list.
-    pub scenarios: Vec<Scenario>,
 }
 
 #[cfg(test)]
@@ -522,17 +520,22 @@ mod tests {
                 let mut rebuilt: Vec<Scenario> = Vec::new();
                 let mut next_offset = 0;
                 for i in 0..of {
-                    let shard = grid.shard(i, of);
+                    let (lo, hi) = grid.shard(i, of);
                     assert_eq!(
-                        shard.offset, next_offset,
+                        lo, next_offset,
                         "shard {i}/{of} must start where the previous ended"
                     );
-                    next_offset += shard.scenarios.len();
-                    rebuilt.extend(shard.scenarios);
+                    next_offset = hi;
+                    rebuilt.extend(grid.scenarios_in(lo, hi));
                 }
                 assert_eq!(rebuilt, whole, "concatenated shards ({of}) != full list");
                 // Balanced to within one scenario.
-                let lens: Vec<usize> = (0..of).map(|i| grid.shard(i, of).scenarios.len()).collect();
+                let lens: Vec<usize> = (0..of)
+                    .map(|i| {
+                        let (lo, hi) = grid.shard(i, of);
+                        hi - lo
+                    })
+                    .collect();
                 let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
                 assert!(max - min <= 1, "unbalanced shards: {lens:?}");
             }
@@ -542,9 +545,31 @@ mod tests {
     #[test]
     fn more_shards_than_scenarios_yields_empty_tails() {
         let grid = small_grid().sample_cap(3);
-        let lens: Vec<usize> = (0..7).map(|i| grid.shard(i, 7).scenarios.len()).collect();
+        let lens: Vec<usize> = (0..7)
+            .map(|i| {
+                let (lo, hi) = grid.shard(i, 7);
+                hi - lo
+            })
+            .collect();
         assert_eq!(lens.iter().sum::<usize>(), 3);
         assert!(lens.iter().all(|&l| l <= 1));
+    }
+
+    /// The Workload view of a grid: one piece per range, empty fold key,
+    /// no topology context, scenarios identical to `scenarios_in`.
+    #[test]
+    fn grid_workload_yields_one_piece_per_range() {
+        let grid = small_grid().sample_cap(17);
+        let meta = grid.meta();
+        assert_eq!(meta.kind, WorkloadKind::Grid);
+        assert_eq!((meta.full_size, meta.size), (48, 17));
+        let pieces = grid.pieces(3, 11);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].offset, 3);
+        assert_eq!(pieces[0].key, "");
+        assert!(pieces[0].entry.is_none());
+        assert_eq!(pieces[0].scenarios, grid.scenarios_in(3, 11));
+        assert!(grid.pieces(5, 5).is_empty());
     }
 
     /// Regression: `start_pairs` used to append whatever it was given, so
@@ -689,9 +714,9 @@ mod tests {
         for of in [1usize, 2, 3, 7] {
             let mut rebuilt: Vec<Scenario> = Vec::new();
             for i in 0..of {
-                let shard = grid.shard(i, of);
-                assert_eq!(shard.offset, rebuilt.len());
-                rebuilt.extend(shard.scenarios);
+                let (lo, hi) = grid.shard(i, of);
+                assert_eq!(lo, rebuilt.len());
+                rebuilt.extend(grid.scenarios_in(lo, hi));
             }
             assert_eq!(rebuilt, whole, "fleet shards ({of}) != full list");
         }

@@ -2,40 +2,45 @@
 //!
 //! The paper's claims (Miller & Pelc, PODC 2014) are all *worst-case over
 //! an adversary*: any label pair from `{1, …, L}`, any distinct start
-//! nodes, any wake-up delays. Reproducing a claim therefore means sweeping
-//! an adversarial configuration space and folding every execution into
-//! aggregate statistics. Before this crate, each experiment hand-rolled
-//! that sweep; now there is exactly one engine:
+//! nodes, any wake-up delays — and, in this workspace's generalizations,
+//! any fleet of `k ≥ 2` agents on any of hundreds of seeded topologies.
+//! Reproducing a claim therefore means sweeping an adversarial
+//! configuration space and folding every execution into aggregate
+//! statistics. That shape is defined exactly **once**, as a generic
+//! pipeline over the [`Workload`] trait:
+//!
+//! ```text
+//! enumerate (Workload) → run (PieceExecutor) → fold (SweepReport)
+//!     → shard (Workload::shard) → merge (SweepReport::merge)
+//! ```
 //!
 //! * [`Scenario`] — one fully-specified `k ≥ 2`-agent execution: a list
 //!   of [`Placement`]s (label, start, wake-up delay) plus the round
-//!   budget. [`Scenario::pair`] builds the paper's two-agent case; fleet
-//!   scenarios drive the gathering generalization (§1.4);
-//! * [`Grid`] — declarative enumeration of an adversarial sweep: label
-//!   pairs × ordered start pairs × delays in pair mode, or fleet sizes ×
-//!   start rotations × delay phases (expanded by a [`FleetRule`]) in
-//!   fleet mode — either way with a deterministic sampling cap for
-//!   spaces too large to exhaust;
-//! * [`Runner`] — executes scenario batches, sequentially or across
-//!   threads, and folds [`ScenarioOutcome`]s into [`SweepStats`]. The fold
-//!   itself is always sequential in scenario order, so parallel and
-//!   sequential runs produce **identical** aggregates by construction;
-//! * [`SweepStats`] — max/mean time and cost, meeting failures, crossing
-//!   totals, and bound-violation counts against a [`Bounds`] pair.
+//!   budget. [`Scenario::pair`] builds the paper's two-agent case;
+//! * [`Workload`] — an index-stable, capped, shardable source of
+//!   `(global index, context, Scenario)` units. Implemented by [`Grid`]
+//!   (label pairs × start pairs × delays in pair mode, fleet sizes ×
+//!   rotations × delay phases in fleet mode — one graph, one fold group)
+//!   and [`TopoGrid`] (per-[`GraphSpec`](rendezvous_graph::GraphSpec)
+//!   grids concatenated over many graphs, each built once and keyed by
+//!   family);
+//! * [`Runner`] — executes workloads, sequentially or across threads,
+//!   through a [`PieceExecutor`] (any per-scenario [`Executor`] works
+//!   as-is; [`Bounded`] attaches sweep-level [`Bounds`]); the fold itself
+//!   always walks outcomes in global index order, so parallel and
+//!   sequential runs produce **identical** reports by construction;
+//! * [`SweepReport`] — the one keyed fold: per-group (`""` for plain
+//!   sweeps, the graph family for topology sweeps) sums, maxima,
+//!   bound-violation counts and worst-case [`Witness`]es, tie-broken
+//!   toward the lowest global index with exact-`u128` ratio comparison.
 //!
-//! The **graph itself** is a sweep axis too: a [`TopoGrid`] enumerates
-//! (seeded [`GraphSpec`](rendezvous_graph::GraphSpec) × scenario) spaces
-//! over many graphs — each graph built once and shared across its
-//! scenarios — and folds into per-family [`TopoStats`], mergeable across
-//! shards exactly like [`SweepStats`].
-//!
-//! Sweeps also scale **across processes**: [`Grid::shard`] partitions the
-//! index-stable scenario list into balanced contiguous shards,
-//! [`Runner::sweep_shard`] folds a shard's outcomes at their global
-//! indices, the resulting [`SweepStats`] serialize over any byte channel
-//! (serde), and [`SweepStats::merge`] is the associative fold that
-//! reassembles the exact single-process aggregates — worst-case witnesses
-//! and their lowest-index tie-breaks included.
+//! Sweeps also scale **across processes**: [`Workload::shard`] cuts the
+//! index space into balanced contiguous shards, [`Runner::sweep_shard`]
+//! folds a shard's outcomes at their global indices, the resulting
+//! [`SweepReport`] serializes over any byte channel (serde), and
+//! [`SweepReport::merge`] is the associative fold that reassembles the
+//! exact single-process aggregates — worst-case witnesses and their
+//! lowest-index tie-breaks included.
 //!
 //! # Examples
 //!
@@ -54,8 +59,9 @@
 //!     .delays(&[0, 5])
 //!     .all_start_pairs(&g);
 //! let stats = Runner::sequential()
-//!     .sweep(&AlgorithmExecutor::new(&alg), &grid.scenarios())
-//!     .unwrap();
+//!     .sweep(&grid, &AlgorithmExecutor::new(&alg))
+//!     .unwrap()
+//!     .solo();
 //! assert_eq!(stats.failures, 0);
 //! assert!(stats.max_time > 0);
 //! ```
@@ -65,14 +71,16 @@
 
 mod executor;
 mod grid;
+mod report;
 mod runner;
 mod scenario;
-mod stats;
 mod topo;
+mod workload;
 
 pub use executor::{AlgorithmExecutor, Executor, FactoryExecutor, GatheringExecutor, RunnerError};
-pub use grid::{FleetRule, Grid, ScenarioShard};
+pub use grid::{FleetRule, Grid};
+pub use report::{fold_outcomes, Bounds, GroupStats, SweepReport, Witness};
 pub use runner::Runner;
 pub use scenario::{Placement, Scenario, ScenarioOutcome};
-pub use stats::{fold_outcomes, Bounds, RatioEntry, SweepStats, WorstEntry};
-pub use topo::{FamilyStats, TopoEntry, TopoExecutor, TopoGrid, TopoPiece, TopoStats, TopoWitness};
+pub use topo::{TopoEntry, TopoGrid};
+pub use workload::{Bounded, PieceExecutor, WorkPiece, Workload, WorkloadKind, WorkloadMeta};

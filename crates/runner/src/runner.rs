@@ -1,16 +1,17 @@
 //! The parallel batch executor.
 
-use crate::{Bounds, Executor, RunnerError, Scenario, ScenarioShard, SweepStats};
+use crate::{Executor, PieceExecutor, RunnerError, Scenario, SweepReport, Workload};
 use std::num::NonZeroUsize;
 
-/// Executes scenario batches (and generic per-item jobs) sequentially or
+/// Executes workload sweeps (and generic per-item jobs) sequentially or
 /// across OS threads.
 ///
 /// Parallelism is a pure throughput knob: results are collected in input
-/// order and folded sequentially, so a parallel run produces **the same**
-/// [`SweepStats`] as a sequential run of the same batch — asserted by the
-/// determinism property test in `tests/` and by the
-/// `--parallel`/`--sequential` toggle of the `experiments` binary.
+/// order and folded sequentially at global workload indices, so a
+/// parallel run produces **the same** [`SweepReport`] as a sequential
+/// run of the same workload — asserted by the determinism property tests
+/// in `tests/` and by the `--parallel`/`--sequential` toggle of the
+/// `experiments` binary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Runner {
     threads: usize,
@@ -105,8 +106,8 @@ impl Runner {
     }
 
     /// Executes every scenario through `executor` and returns the raw
-    /// outcomes in input order — the building block for folds other than
-    /// [`SweepStats`] (e.g. the topology sweep's per-family fold).
+    /// outcomes in input order — the building block piece executors use
+    /// for their batches.
     ///
     /// # Errors
     ///
@@ -124,79 +125,91 @@ impl Runner {
         .collect()
     }
 
-    /// Executes every scenario through `executor` and folds the outcomes
-    /// (in scenario order) into [`SweepStats`] checked against `bounds`.
+    /// Sweeps an entire [`Workload`] into a [`SweepReport`] — the one
+    /// enumerate → run → fold pipeline behind every experiment.
     ///
     /// # Errors
     ///
-    /// The first [`RunnerError`] by scenario index, if any execution
-    /// failed — deterministic even under parallelism.
-    pub fn sweep_bounded(
-        &self,
-        executor: &dyn Executor,
-        scenarios: &[Scenario],
-        bounds: Option<Bounds>,
-    ) -> Result<SweepStats, RunnerError> {
-        self.sweep_bounded_at(executor, scenarios, 0, bounds)
+    /// The first [`RunnerError`] in global unit order.
+    pub fn sweep<W, E>(&self, workload: &W, executor: &E) -> Result<SweepReport, RunnerError>
+    where
+        W: Workload + ?Sized,
+        E: PieceExecutor + ?Sized,
+    {
+        self.sweep_range(workload, 0, workload.size(), executor)
     }
 
-    /// [`Runner::sweep_bounded`] for a slice that starts at global
-    /// scenario index `base`: outcomes fold at `base + position`, so the
-    /// resulting stats (witness indices included) are exactly the
-    /// contribution this slice makes to the full sweep. This is what makes
-    /// shard sweeps mergeable — see [`Runner::sweep_shard`].
+    /// Sweeps shard `shard` of `of` of a [`Workload`] (see
+    /// [`Workload::shard`]), folding outcomes at their **global** unit
+    /// indices — so merging the per-shard reports with
+    /// [`SweepReport::merge`] reproduces [`Runner::sweep`] exactly,
+    /// witnesses and tie-breaks included.
     ///
     /// # Errors
     ///
-    /// See [`Runner::sweep_bounded`].
-    pub fn sweep_bounded_at(
+    /// See [`Runner::sweep`].
+    pub fn sweep_shard<W, E>(
         &self,
-        executor: &dyn Executor,
-        scenarios: &[Scenario],
-        base: usize,
-        bounds: Option<Bounds>,
-    ) -> Result<SweepStats, RunnerError> {
-        // Map over indices into the borrowed slice: scenarios are Copy but
-        // large grids would still pay an avoidable clone of the whole batch.
-        let outcomes = self.map((0..scenarios.len()).collect(), |_, i| {
-            executor.run(&scenarios[i])
+        workload: &W,
+        shard: usize,
+        of: usize,
+        executor: &E,
+    ) -> Result<SweepReport, RunnerError>
+    where
+        W: Workload + ?Sized,
+        E: PieceExecutor + ?Sized,
+    {
+        let (lo, hi) = workload.shard(shard, of);
+        self.sweep_range(workload, lo, hi, executor)
+    }
+
+    /// Sweeps the global index range `[lo, hi)` of a [`Workload`].
+    ///
+    /// Parallelism adapts to the workload's shape: a multi-piece range
+    /// (a topology sweep touching many specs) parallelizes **across
+    /// pieces**, each piece running its batch sequentially — nesting two
+    /// parallel levels would only oversubscribe cores — while a
+    /// single-piece range (a plain grid) hands this runner to the piece
+    /// executor, which parallelizes across scenarios. Either way the
+    /// fold walks outcomes in global order, so parallel and sequential
+    /// runs produce identical reports and identical first-error
+    /// behavior.
+    ///
+    /// # Errors
+    ///
+    /// See [`Runner::sweep`].
+    pub fn sweep_range<W, E>(
+        &self,
+        workload: &W,
+        lo: usize,
+        hi: usize,
+        executor: &E,
+    ) -> Result<SweepReport, RunnerError>
+    where
+        W: Workload + ?Sized,
+        E: PieceExecutor + ?Sized,
+    {
+        let pieces = workload.pieces(lo, hi);
+        let inner = if self.is_parallel() && pieces.len() > 1 {
+            Runner::sequential()
+        } else {
+            *self
+        };
+        let results = self.map(pieces, |_, piece| {
+            executor
+                .run_piece(&inner, &piece)
+                .map(|(outcomes, bounds)| (piece, outcomes, bounds))
         });
-        let mut stats = SweepStats::default();
-        for (index, outcome) in outcomes.into_iter().enumerate() {
-            stats.absorb(base + index, &outcome?, bounds);
+        let mut report = SweepReport::default();
+        for result in results {
+            let (piece, outcomes, bounds) = result?;
+            debug_assert_eq!(outcomes.len(), piece.scenarios.len());
+            let spec = piece.entry.map(|e| &e.spec);
+            for (k, outcome) in outcomes.iter().enumerate() {
+                report.absorb(piece.key, piece.offset + k, spec, outcome, bounds);
+            }
         }
-        Ok(stats)
-    }
-
-    /// Sweeps one shard of a grid (see [`Grid::shard`](crate::Grid::shard)),
-    /// folding outcomes at their global scenario indices. Merging the
-    /// resulting per-shard stats with
-    /// [`SweepStats::merge`](crate::SweepStats::merge) reproduces the
-    /// unsharded sweep field for field.
-    ///
-    /// # Errors
-    ///
-    /// See [`Runner::sweep_bounded`].
-    pub fn sweep_shard(
-        &self,
-        executor: &dyn Executor,
-        shard: &ScenarioShard,
-        bounds: Option<Bounds>,
-    ) -> Result<SweepStats, RunnerError> {
-        self.sweep_bounded_at(executor, &shard.scenarios, shard.offset, bounds)
-    }
-
-    /// [`Runner::sweep_bounded`] without bound checking.
-    ///
-    /// # Errors
-    ///
-    /// See [`Runner::sweep_bounded`].
-    pub fn sweep(
-        &self,
-        executor: &dyn Executor,
-        scenarios: &[Scenario],
-    ) -> Result<SweepStats, RunnerError> {
-        self.sweep_bounded(executor, scenarios, None)
+        Ok(report)
     }
 }
 

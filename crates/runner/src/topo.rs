@@ -6,28 +6,27 @@
 //! **once** (an `Arc` shared by all of that spec's scenarios — the
 //! topology-level analogue of the executor's schedule cache), instantiates
 //! a scenario grid per spec, and exposes the concatenation as one
-//! index-stable scenario space:
+//! index-stable [`Workload`]:
 //!
 //! ```text
 //! global index = entry offset + local (capped) scenario index
 //! ```
 //!
 //! Because the per-spec grids apply their sampling caps *before*
-//! concatenation, the global list is reproducible, and
-//! [`TopoGrid::shard`] can cut it into balanced contiguous shards exactly
-//! like [`Grid::shard`] — merging per-shard [`TopoStats`] reproduces the
-//! single-process sweep byte for byte, witnesses included.
+//! concatenation, the global list is reproducible, and the default
+//! [`Workload::shard`] rule cuts it into balanced contiguous shards
+//! exactly like a plain grid's — merging per-shard
+//! [`SweepReport`](crate::SweepReport)s reproduces the single-process
+//! sweep byte for byte, witnesses included.
 //!
-//! [`TopoStats`] aggregates **per graph family** (ring, tree,
-//! erdős–rényi, …): worst time, worst cost, and worst time/bound ratio,
-//! each with its lowest-`(spec, scenario)`-index witness. The ratio is
-//! compared by exact `u128` cross-multiplication, never floats, so merge
-//! order can't perturb it.
+//! The fold key of every unit is its spec's **graph family** (ring, tree,
+//! erdős–rényi, …), so a topology sweep's report groups per family:
+//! worst time, worst cost, and worst time/bound ratio, each with its
+//! lowest-global-index witness carrying the replayable [`GraphSpec`].
 
-use crate::grid::strided;
-use crate::{Bounds, Grid, Runner, RunnerError, Scenario, ScenarioOutcome};
+use crate::workload::{WorkPiece, Workload, WorkloadKind, WorkloadMeta};
+use crate::{Grid, RunnerError};
 use rendezvous_graph::{GraphSpec, PortLabeledGraph};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// One spec's slot in a [`TopoGrid`]: the spec, its graph (built once,
@@ -39,6 +38,9 @@ pub struct TopoEntry {
     pub spec_index: usize,
     /// The recipe that built [`TopoEntry::graph`].
     pub spec: GraphSpec,
+    /// The spec's graph family ([`GraphSpec::family`], resolved once) —
+    /// the fold key of every scenario in this entry.
+    pub family: String,
     /// The built graph — one allocation per spec, not per scenario.
     pub graph: Arc<PortLabeledGraph>,
     /// The spec's scenario grid (cap already applied by the configurer).
@@ -52,18 +54,6 @@ pub struct TopoEntry {
 pub struct TopoGrid {
     entries: Vec<TopoEntry>,
     total: usize,
-}
-
-/// A contiguous run of one entry's scenarios, produced by cutting the
-/// global index space: which entry, and which half-open local range.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TopoPiece {
-    /// Index into [`TopoGrid::entries`].
-    pub entry: usize,
-    /// First local (capped) scenario index of the run.
-    pub lo: usize,
-    /// One past the last local scenario index.
-    pub hi: usize,
 }
 
 impl TopoGrid {
@@ -93,6 +83,7 @@ impl TopoGrid {
             let size = grid.size();
             entries.push(TopoEntry {
                 spec_index,
+                family: spec.family(),
                 spec,
                 graph,
                 grid,
@@ -117,513 +108,59 @@ impl TopoGrid {
     pub fn entries(&self) -> &[TopoEntry] {
         &self.entries
     }
+}
 
-    /// Cuts the global index range `[lo, hi)` into per-entry pieces, in
-    /// global order. Entries the range skips entirely yield no piece.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `lo > hi` or `hi > self.size()`.
-    #[must_use]
-    pub fn pieces(&self, lo: usize, hi: usize) -> Vec<TopoPiece> {
+/// A [`TopoGrid`] as a [`Workload`]: the concatenated per-spec grids,
+/// cut at entry boundaries into one piece per spec a range touches, each
+/// piece keyed by the spec's graph family and carrying its [`TopoEntry`]
+/// (the built graph) as context. Shard boundaries may fall *inside* a
+/// spec's scenario list, so shards stay balanced even when specs have
+/// wildly different grid sizes.
+impl Workload for TopoGrid {
+    fn size(&self) -> usize {
+        TopoGrid::size(self)
+    }
+
+    fn meta(&self) -> WorkloadMeta {
+        WorkloadMeta {
+            kind: WorkloadKind::Topo,
+            full_size: self
+                .entries
+                .iter()
+                .fold(0usize, |acc, e| acc.saturating_add(e.grid.full_size())),
+            size: self.total,
+        }
+    }
+
+    fn pieces(&self, lo: usize, hi: usize) -> Vec<WorkPiece<'_>> {
         assert!(
             lo <= hi && hi <= self.total,
             "global range {lo}..{hi} out of bounds for a topo grid of {}",
             self.total
         );
         let mut out = Vec::new();
-        for (i, entry) in self.entries.iter().enumerate() {
+        for entry in &self.entries {
             let size = entry.grid.size();
             let (begin, end) = (entry.offset, entry.offset + size);
             let cut_lo = lo.max(begin);
             let cut_hi = hi.min(end);
             if cut_lo < cut_hi {
-                out.push(TopoPiece {
-                    entry: i,
-                    lo: cut_lo - begin,
-                    hi: cut_hi - begin,
+                out.push(WorkPiece {
+                    offset: cut_lo,
+                    key: &entry.family,
+                    entry: Some(entry),
+                    scenarios: entry.grid.scenarios_in(cut_lo - begin, cut_hi - begin),
                 });
             }
         }
         out
-    }
-
-    /// The global index range of shard `shard` of `of`: the same balanced
-    /// contiguous partition rule as [`Grid::shard`], applied to the
-    /// concatenated (spec × scenario) space — so shard boundaries may fall
-    /// *inside* a spec's scenario list, and shards stay balanced even when
-    /// specs have wildly different grid sizes.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `of == 0` or `shard >= of`.
-    #[must_use]
-    pub fn shard(&self, shard: usize, of: usize) -> (usize, usize) {
-        assert!(of > 0, "cannot split a topo grid into zero shards");
-        assert!(
-            shard < of,
-            "shard index {shard} out of range for {of} shards"
-        );
-        (
-            strided(shard, self.total, of),
-            strided(shard + 1, self.total, of),
-        )
-    }
-}
-
-/// Executes one entry's scenario batch — the seam between the generic
-/// topology sweep and the algorithm under test. Implementations build
-/// whatever per-graph machinery they need (explorer, algorithm, schedule
-/// cache) inside [`TopoExecutor::run_entry`]. `Sync` because the sweep
-/// parallelizes **across entries** (there are typically hundreds of
-/// specs and only a handful of scenarios per spec, so per-entry batches
-/// alone cannot saturate a machine).
-pub trait TopoExecutor: Sync {
-    /// Runs `scenarios` (a contiguous slice of `entry.grid`'s capped
-    /// list) and returns the outcomes **in input order** together with
-    /// the entry's paper bounds. `runner` is the executor to use for the
-    /// batch itself (e.g. via [`Runner::outcomes`]); the sweep passes a
-    /// sequential one when it is already parallel across entries.
-    ///
-    /// # Errors
-    ///
-    /// Any configuration or simulation error, which aborts the sweep.
-    fn run_entry(
-        &self,
-        runner: &Runner,
-        entry: &TopoEntry,
-        scenarios: &[Scenario],
-    ) -> Result<(Vec<ScenarioOutcome>, Bounds), RunnerError>;
-}
-
-impl Runner {
-    /// Sweeps an entire [`TopoGrid`] into [`TopoStats`].
-    ///
-    /// # Errors
-    ///
-    /// The first [`RunnerError`] in global scenario order.
-    pub fn sweep_topo(
-        &self,
-        topo: &TopoGrid,
-        executor: &dyn TopoExecutor,
-    ) -> Result<TopoStats, RunnerError> {
-        self.sweep_topo_range(topo, 0, topo.size(), executor)
-    }
-
-    /// Sweeps shard `shard` of `of` of a [`TopoGrid`] (see
-    /// [`TopoGrid::shard`]). Merging the per-shard [`TopoStats`] with
-    /// [`TopoStats::merge`] reproduces [`Runner::sweep_topo`] exactly.
-    ///
-    /// # Errors
-    ///
-    /// See [`Runner::sweep_topo`].
-    pub fn sweep_topo_shard(
-        &self,
-        topo: &TopoGrid,
-        shard: usize,
-        of: usize,
-        executor: &dyn TopoExecutor,
-    ) -> Result<TopoStats, RunnerError> {
-        let (lo, hi) = topo.shard(shard, of);
-        self.sweep_topo_range(topo, lo, hi, executor)
-    }
-
-    /// Sweeps the global index range `[lo, hi)` of a [`TopoGrid`],
-    /// folding outcomes at their `(spec, scenario)` indices.
-    ///
-    /// Parallelism happens **across entries**: pieces execute on the
-    /// worker threads (each running its scenario batch sequentially —
-    /// nesting two parallel levels would only oversubscribe cores), and
-    /// the fold walks the piece results in global order, so parallel and
-    /// sequential runs produce identical stats and report identical
-    /// first-error behavior.
-    ///
-    /// # Errors
-    ///
-    /// See [`Runner::sweep_topo`].
-    pub fn sweep_topo_range(
-        &self,
-        topo: &TopoGrid,
-        lo: usize,
-        hi: usize,
-        executor: &dyn TopoExecutor,
-    ) -> Result<TopoStats, RunnerError> {
-        let pieces = topo.pieces(lo, hi);
-        let inner = if self.is_parallel() && pieces.len() > 1 {
-            Runner::sequential()
-        } else {
-            *self
-        };
-        let results = self.map(pieces, |_, piece| {
-            let entry = &topo.entries()[piece.entry];
-            let scenarios = entry.grid.scenarios_in(piece.lo, piece.hi);
-            executor
-                .run_entry(&inner, entry, &scenarios)
-                .map(|(outcomes, bounds)| (piece, outcomes, bounds))
-        });
-        let mut stats = TopoStats::default();
-        for result in results {
-            let (piece, outcomes, bounds) = result?;
-            let entry = &topo.entries()[piece.entry];
-            debug_assert_eq!(outcomes.len(), piece.hi - piece.lo);
-            let family = entry.spec.family();
-            for (k, outcome) in outcomes.iter().enumerate() {
-                stats.absorb(&family, entry, piece.lo + k, outcome, bounds);
-            }
-        }
-        Ok(stats)
-    }
-}
-
-/// A topology-sweep witness: which `(spec, scenario)` achieved an extreme
-/// value, with everything needed to replay it (the spec is a buildable
-/// recipe, the scenario a full configuration).
-///
-/// Ties break toward the lexicographically smallest
-/// `(spec_index, scenario_index)` — equivalently the smallest global
-/// index, since entries are laid out in spec order — making witnesses
-/// independent of execution order and of sharding.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct TopoWitness {
-    /// Position of the spec in the swept spec list.
-    pub spec_index: usize,
-    /// Local (capped) index of the scenario within the spec's grid.
-    pub scenario_index: usize,
-    /// The graph recipe.
-    pub spec: GraphSpec,
-    /// The adversarial configuration.
-    pub scenario: Scenario,
-    /// Measured time.
-    pub time: u64,
-    /// Measured cost.
-    pub cost: u64,
-    /// The paper's time bound for this spec's graph (the `E`-dependent
-    /// denominator of the bound ratio).
-    pub time_bound: u64,
-    /// The paper's cost bound for this spec's graph.
-    pub cost_bound: u64,
-}
-
-impl TopoWitness {
-    /// `(spec_index, scenario_index)` — the tie-break key.
-    fn key(&self) -> (usize, usize) {
-        (self.spec_index, self.scenario_index)
-    }
-}
-
-/// Ratio comparison without floats: `a.time / a.time_bound` versus
-/// `b.time / b.time_bound` through the shared exact cross-multiplication
-/// helper of `stats.rs`, so the two witness rankings can never drift.
-fn ratio_gt(a: &TopoWitness, b: &TopoWitness) -> bool {
-    crate::stats::ratio_pair_gt((a.time, a.time_bound), (b.time, b.time_bound))
-}
-
-fn ratio_eq(a: &TopoWitness, b: &TopoWitness) -> bool {
-    crate::stats::ratio_pair_eq((a.time, a.time_bound), (b.time, b.time_bound))
-}
-
-/// Per-family aggregates of a topology sweep.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct FamilyStats {
-    /// Family name ([`GraphSpec::family`]).
-    pub family: String,
-    /// Scenarios executed.
-    pub executed: usize,
-    /// Scenarios in which the agents met within the horizon.
-    pub meetings: usize,
-    /// Scenarios in which they did not (must be 0 for the paper's
-    /// algorithms under a sufficient horizon).
-    pub failures: usize,
-    /// Maximum time over meeting scenarios.
-    pub max_time: u64,
-    /// Maximum cost over meeting scenarios.
-    pub max_cost: u64,
-    /// Total cluster-merge events across the family's scenarios
-    /// (gathering sweeps; 0 for pair sweeps).
-    pub merges: u64,
-    /// Meeting scenarios whose time exceeded their spec's time bound —
-    /// or, when the outcome carried its own per-scenario
-    /// [`time_bound`](crate::ScenarioOutcome::time_bound) (gathering's
-    /// merge-and-restart bound), that bound.
-    pub time_violations: usize,
-    /// Meeting scenarios whose cost exceeded their spec's cost bound.
-    pub cost_violations: usize,
-    /// Witness of `max_time`.
-    pub worst_time: Option<TopoWitness>,
-    /// Witness of `max_cost`.
-    pub worst_cost: Option<TopoWitness>,
-    /// Witness of the largest time / time-bound ratio — the scenario that
-    /// came closest to (or past) the paper's guarantee. Distinct from
-    /// `worst_time` because the bound's `E` varies per spec.
-    pub worst_ratio: Option<TopoWitness>,
-}
-
-impl FamilyStats {
-    fn new(family: &str) -> FamilyStats {
-        FamilyStats {
-            family: family.to_string(),
-            executed: 0,
-            meetings: 0,
-            failures: 0,
-            max_time: 0,
-            max_cost: 0,
-            merges: 0,
-            time_violations: 0,
-            cost_violations: 0,
-            worst_time: None,
-            worst_cost: None,
-            worst_ratio: None,
-        }
-    }
-
-    fn absorb(
-        &mut self,
-        entry: &TopoEntry,
-        scenario_index: usize,
-        outcome: &ScenarioOutcome,
-        bounds: Bounds,
-    ) {
-        self.executed += 1;
-        self.merges += outcome.merges;
-        let Some(time) = outcome.time else {
-            self.failures += 1;
-            return;
-        };
-        self.meetings += 1;
-        self.max_time = self.max_time.max(time);
-        self.max_cost = self.max_cost.max(outcome.cost);
-        // A per-scenario bound (gathering's merge-and-restart bound, which
-        // varies with the fleet) overrides the entry-level time bound for
-        // both the violation check and the ratio witness.
-        let time_bound = outcome.time_bound.unwrap_or(bounds.time);
-        if time > time_bound {
-            self.time_violations += 1;
-        }
-        if outcome.cost > bounds.cost {
-            self.cost_violations += 1;
-        }
-        let witness = TopoWitness {
-            spec_index: entry.spec_index,
-            scenario_index,
-            spec: entry.spec.clone(),
-            scenario: outcome.scenario.clone(),
-            time,
-            cost: outcome.cost,
-            time_bound,
-            cost_bound: bounds.cost,
-        };
-        replace_if(
-            &mut self.worst_time,
-            &witness,
-            |a, b| a.time > b.time,
-            |a, b| a.time == b.time,
-        );
-        replace_if(
-            &mut self.worst_cost,
-            &witness,
-            |a, b| a.cost > b.cost,
-            |a, b| a.cost == b.cost,
-        );
-        replace_if(&mut self.worst_ratio, &witness, ratio_gt, ratio_eq);
-    }
-
-    fn merge(&self, other: &FamilyStats) -> FamilyStats {
-        assert_eq!(self.family, other.family, "merging different families");
-        FamilyStats {
-            family: self.family.clone(),
-            executed: self.executed + other.executed,
-            meetings: self.meetings + other.meetings,
-            failures: self.failures + other.failures,
-            max_time: self.max_time.max(other.max_time),
-            max_cost: self.max_cost.max(other.max_cost),
-            merges: self.merges + other.merges,
-            time_violations: self.time_violations + other.time_violations,
-            cost_violations: self.cost_violations + other.cost_violations,
-            worst_time: merge_witness(
-                &self.worst_time,
-                &other.worst_time,
-                |a, b| a.time > b.time,
-                |a, b| a.time == b.time,
-            ),
-            worst_cost: merge_witness(
-                &self.worst_cost,
-                &other.worst_cost,
-                |a, b| a.cost > b.cost,
-                |a, b| a.cost == b.cost,
-            ),
-            worst_ratio: merge_witness(&self.worst_ratio, &other.worst_ratio, ratio_gt, ratio_eq),
-        }
-    }
-}
-
-/// Installs `candidate` into `slot` if it beats the incumbent (or ties at
-/// a smaller `(spec, scenario)` index).
-fn replace_if(
-    slot: &mut Option<TopoWitness>,
-    candidate: &TopoWitness,
-    gt: impl Fn(&TopoWitness, &TopoWitness) -> bool,
-    eq: impl Fn(&TopoWitness, &TopoWitness) -> bool,
-) {
-    let wins = match slot {
-        None => true,
-        Some(w) => gt(candidate, w) || (eq(candidate, w) && candidate.key() < w.key()),
-    };
-    if wins {
-        *slot = Some(candidate.clone());
-    }
-}
-
-/// Lowest-index-on-ties winner between two optional witnesses.
-fn merge_witness(
-    a: &Option<TopoWitness>,
-    b: &Option<TopoWitness>,
-    gt: impl Fn(&TopoWitness, &TopoWitness) -> bool,
-    eq: impl Fn(&TopoWitness, &TopoWitness) -> bool,
-) -> Option<TopoWitness> {
-    match (a, b) {
-        (Some(x), Some(y)) => {
-            if gt(x, y) || (eq(x, y) && x.key() <= y.key()) {
-                Some(x.clone())
-            } else {
-                Some(y.clone())
-            }
-        }
-        (x, y) => x.clone().or_else(|| y.clone()),
-    }
-}
-
-/// Aggregate statistics of one topology sweep, grouped by graph family
-/// and kept **sorted by family name** — so two stats computed from the
-/// same outcomes are structurally equal, and their JSON is byte-equal.
-///
-/// Mergeable exactly like [`SweepStats`](crate::SweepStats): split a
-/// [`TopoGrid`] into contiguous shards, sweep each in its own process,
-/// serialize, [`TopoStats::merge`] — the result equals the unsharded
-/// sweep field for field (property-tested in `tests/topo.rs` and checked
-/// end-to-end in CI against the `experiments --topo` binary).
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
-pub struct TopoStats {
-    /// Per-family aggregates, sorted by family name.
-    pub families: Vec<FamilyStats>,
-}
-
-impl TopoStats {
-    /// Folds one `(spec, scenario)` outcome into its family's aggregate.
-    pub fn absorb(
-        &mut self,
-        family: &str,
-        entry: &TopoEntry,
-        scenario_index: usize,
-        outcome: &ScenarioOutcome,
-        bounds: Bounds,
-    ) {
-        let slot = match self
-            .families
-            .binary_search_by(|f| f.family.as_str().cmp(family))
-        {
-            Ok(i) => i,
-            Err(i) => {
-                self.families.insert(i, FamilyStats::new(family));
-                i
-            }
-        };
-        self.families[slot].absorb(entry, scenario_index, outcome, bounds);
-    }
-
-    /// Combines the stats of two disjoint index ranges of one topology
-    /// sweep — associative and commutative, since every field is a sum, a
-    /// max, or an index-tie-broken witness.
-    #[must_use]
-    pub fn merge(&self, other: &TopoStats) -> TopoStats {
-        let mut families = Vec::with_capacity(self.families.len().max(other.families.len()));
-        let (mut i, mut j) = (0, 0);
-        while i < self.families.len() && j < other.families.len() {
-            let (a, b) = (&self.families[i], &other.families[j]);
-            match a.family.cmp(&b.family) {
-                std::cmp::Ordering::Less => {
-                    families.push(a.clone());
-                    i += 1;
-                }
-                std::cmp::Ordering::Greater => {
-                    families.push(b.clone());
-                    j += 1;
-                }
-                std::cmp::Ordering::Equal => {
-                    families.push(a.merge(b));
-                    i += 1;
-                    j += 1;
-                }
-            }
-        }
-        families.extend_from_slice(&self.families[i..]);
-        families.extend_from_slice(&other.families[j..]);
-        TopoStats { families }
-    }
-
-    /// Total scenarios executed across all families.
-    #[must_use]
-    pub fn executed(&self) -> usize {
-        self.families.iter().map(|f| f.executed).sum()
-    }
-
-    /// Total non-meeting scenarios across all families.
-    #[must_use]
-    pub fn failures(&self) -> usize {
-        self.families.iter().map(|f| f.failures).sum()
-    }
-
-    /// Total bound violations (time + cost) across all families.
-    #[must_use]
-    pub fn violations(&self) -> usize {
-        self.families
-            .iter()
-            .map(|f| f.time_violations + f.cost_violations)
-            .sum()
-    }
-
-    /// `true` when every scenario met and stayed within its spec's bounds.
-    #[must_use]
-    pub fn clean(&self) -> bool {
-        self.failures() == 0 && self.violations() == 0
-    }
-
-    /// The per-family aggregate, if that family was swept.
-    #[must_use]
-    pub fn family(&self, name: &str) -> Option<&FamilyStats> {
-        self.families
-            .binary_search_by(|f| f.family.as_str().cmp(name))
-            .ok()
-            .map(|i| &self.families[i])
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rendezvous_graph::{NodeId, RingSpec, SeededSpec};
-
-    fn entry(spec_index: usize, spec: GraphSpec) -> TopoEntry {
-        let graph = Arc::new(spec.build().unwrap());
-        let grid = Grid::new(50)
-            .label_pairs_ordered(&[(1, 2)])
-            .all_start_pairs(&graph);
-        TopoEntry {
-            spec_index,
-            spec,
-            graph,
-            grid,
-            offset: 0,
-        }
-    }
-
-    fn outcome(time: Option<u64>, cost: u64) -> ScenarioOutcome {
-        ScenarioOutcome::pairwise(
-            Scenario::pair(1, 2, NodeId::new(0), NodeId::new(1), 0, 50),
-            time,
-            cost,
-            0,
-        )
-    }
+    use rendezvous_graph::{RingSpec, SeededSpec};
 
     #[test]
     fn topo_grid_concatenates_spec_grids_index_stably() {
@@ -643,52 +180,36 @@ mod tests {
         assert_eq!(topo.entries()[0].offset, 0);
         assert_eq!(topo.entries()[1].offset, 12);
         assert_eq!(topo.entries()[2].offset, 32);
-        // The graph is built once per spec and shared.
+        // The graph is built once per spec and shared, and the family is
+        // resolved once at build time.
         assert_eq!(topo.entries()[1].graph.node_count(), 5);
+        assert_eq!(topo.entries()[2].family, "scrambled-ring");
 
         // Pieces partition any range, respecting entry boundaries.
         let pieces = topo.pieces(0, topo.size());
-        assert_eq!(
-            pieces,
-            vec![
-                TopoPiece {
-                    entry: 0,
-                    lo: 0,
-                    hi: 12
-                },
-                TopoPiece {
-                    entry: 1,
-                    lo: 0,
-                    hi: 20
-                },
-                TopoPiece {
-                    entry: 2,
-                    lo: 0,
-                    hi: 12
-                },
-            ]
-        );
+        let shape: Vec<(usize, usize)> = pieces
+            .iter()
+            .map(|p| (p.offset, p.scenarios.len()))
+            .collect();
+        assert_eq!(shape, vec![(0, 12), (12, 20), (32, 12)]);
         let middle = topo.pieces(10, 34);
-        assert_eq!(
-            middle,
-            vec![
-                TopoPiece {
-                    entry: 0,
-                    lo: 10,
-                    hi: 12
-                },
-                TopoPiece {
-                    entry: 1,
-                    lo: 0,
-                    hi: 20
-                },
-                TopoPiece {
-                    entry: 2,
-                    lo: 0,
-                    hi: 2
-                },
-            ]
-        );
+        let shape: Vec<(usize, usize)> = middle
+            .iter()
+            .map(|p| (p.offset, p.scenarios.len()))
+            .collect();
+        assert_eq!(shape, vec![(10, 2), (12, 20), (32, 2)]);
+        // Every piece carries its entry and is keyed by the family.
+        for p in &middle {
+            let entry = p.entry.expect("topology pieces carry their entry");
+            assert_eq!(p.key, entry.family);
+            assert_eq!(
+                p.scenarios,
+                entry.grid.scenarios_in(
+                    p.offset - entry.offset,
+                    p.offset - entry.offset + p.scenarios.len()
+                )
+            );
+        }
         assert!(topo.pieces(12, 12).is_empty());
     }
 
@@ -713,6 +234,12 @@ mod tests {
             }
             assert_eq!(next, topo.size(), "shards must cover the space ({of})");
         }
+        // The meta fingerprints the pre-cap space: 5 rings with 12..56
+        // ordered start pairs (4·3, 5·4, 6·5, 7·6, 8·7).
+        let meta = topo.meta();
+        assert_eq!(meta.kind, WorkloadKind::Topo);
+        assert_eq!(meta.size, 35);
+        assert_eq!(meta.full_size, 12 + 20 + 30 + 42 + 56);
     }
 
     #[test]
@@ -722,168 +249,5 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("Ring"), "unhelpful error: {err}");
-    }
-
-    #[test]
-    fn family_stats_track_violations_and_ratio_witnesses() {
-        let e = entry(3, GraphSpec::Ring(RingSpec { n: 4 }));
-        let bounds = Bounds { time: 20, cost: 30 };
-        let mut stats = TopoStats::default();
-        stats.absorb("ring", &e, 0, &outcome(Some(10), 5), bounds);
-        stats.absorb("ring", &e, 1, &outcome(Some(21), 40), bounds); // both violations
-        stats.absorb("ring", &e, 2, &outcome(None, 0), bounds); // failure
-        let f = stats.family("ring").unwrap();
-        assert_eq!(
-            (
-                f.executed,
-                f.meetings,
-                f.failures,
-                f.time_violations,
-                f.cost_violations
-            ),
-            (3, 2, 1, 1, 1)
-        );
-        assert_eq!(f.max_time, 21);
-        assert_eq!(f.worst_time.as_ref().unwrap().scenario_index, 1);
-        assert_eq!(f.worst_ratio.as_ref().unwrap().time, 21);
-        assert!(!stats.clean());
-        assert_eq!(stats.executed(), 3);
-        assert_eq!(stats.violations(), 2);
-    }
-
-    /// Gathering outcomes carry their own merge-and-restart bound; the
-    /// family fold must judge violations and the ratio witness against
-    /// it, not the entry-level bound, and must total the merge events.
-    #[test]
-    fn per_scenario_bounds_override_entry_bounds_in_family_stats() {
-        let e = entry(0, GraphSpec::Ring(RingSpec { n: 4 }));
-        let bounds = Bounds {
-            time: 100,
-            cost: 100,
-        };
-        let mut stats = TopoStats::default();
-        let mut violating = outcome(Some(30), 5);
-        violating.time_bound = Some(25); // beyond its own bound…
-        violating.merges = 2;
-        let mut clean = outcome(Some(10), 5);
-        clean.time_bound = Some(40); // …this one within its own
-        clean.merges = 1;
-        stats.absorb("ring", &e, 0, &violating, bounds);
-        stats.absorb("ring", &e, 1, &clean, bounds);
-        let f = stats.family("ring").unwrap();
-        assert_eq!(
-            f.time_violations, 1,
-            "30 > 25 violates even though 30 < 100"
-        );
-        assert_eq!(f.merges, 3);
-        let w = f.worst_ratio.as_ref().unwrap();
-        assert_eq!((w.time, w.time_bound), (30, 25), "ratio 30/25 > 10/40");
-        assert!(!stats.clean());
-    }
-
-    #[test]
-    fn ratio_comparison_is_exact_cross_multiplication() {
-        // 7/21 == 9/27 — floats would round; cross-mult ties exactly, and
-        // the lower (spec, scenario) index must win.
-        let e_a = entry(1, GraphSpec::Ring(RingSpec { n: 4 }));
-        let e_b = entry(0, GraphSpec::Ring(RingSpec { n: 5 }));
-        let mut a = TopoStats::default();
-        a.absorb(
-            "ring",
-            &e_a,
-            0,
-            &outcome(Some(7), 1),
-            Bounds { time: 21, cost: 99 },
-        );
-        let mut b = TopoStats::default();
-        b.absorb(
-            "ring",
-            &e_b,
-            5,
-            &outcome(Some(9), 1),
-            Bounds { time: 27, cost: 99 },
-        );
-        for merged in [a.merge(&b), b.merge(&a)] {
-            let w = merged.family("ring").unwrap().worst_ratio.clone().unwrap();
-            assert_eq!((w.spec_index, w.scenario_index), (0, 5));
-        }
-        // And a genuinely larger ratio beats a smaller index.
-        let mut c = TopoStats::default();
-        c.absorb(
-            "ring",
-            &e_a,
-            0,
-            &outcome(Some(8), 1),
-            Bounds { time: 21, cost: 99 },
-        );
-        let w = c
-            .merge(&b)
-            .family("ring")
-            .unwrap()
-            .worst_ratio
-            .clone()
-            .unwrap();
-        assert_eq!(w.time, 8, "8/21 > 9/27");
-    }
-
-    #[test]
-    fn merge_is_associative_commutative_and_sorted() {
-        let e0 = entry(0, GraphSpec::Ring(RingSpec { n: 4 }));
-        let e1 = entry(1, GraphSpec::ScrambledRing(SeededSpec { n: 4, seed: 2 }));
-        let bounds = Bounds { time: 50, cost: 50 };
-        let mut whole = TopoStats::default();
-        let mut parts = [
-            TopoStats::default(),
-            TopoStats::default(),
-            TopoStats::default(),
-        ];
-        let samples = [
-            ("ring", &e0, 0, outcome(Some(4), 2)),
-            ("scrambled-ring", &e1, 0, outcome(Some(9), 9)),
-            ("ring", &e0, 1, outcome(Some(4), 1)),
-            ("scrambled-ring", &e1, 1, outcome(None, 0)),
-            ("ring", &e0, 2, outcome(Some(2), 8)),
-        ];
-        for (k, (family, e, idx, o)) in samples.iter().enumerate() {
-            whole.absorb(family, e, *idx, o, bounds);
-            parts[k % 3].absorb(family, e, *idx, o, bounds);
-        }
-        let ab_c = parts[0].merge(&parts[1]).merge(&parts[2]);
-        let a_bc = parts[0].merge(&parts[1].merge(&parts[2]));
-        let cba = parts[2].merge(&parts[1]).merge(&parts[0]);
-        assert_eq!(ab_c, whole);
-        assert_eq!(a_bc, whole);
-        assert_eq!(cba, whole);
-        // Families stay sorted, so JSON is byte-stable.
-        let names: Vec<&str> = whole.families.iter().map(|f| f.family.as_str()).collect();
-        assert_eq!(names, ["ring", "scrambled-ring"]);
-        assert_eq!(whole.merge(&TopoStats::default()), whole);
-    }
-
-    #[test]
-    fn topo_stats_serde_round_trip() {
-        let e = entry(
-            2,
-            GraphSpec::permuted(GraphSpec::Ring(RingSpec { n: 5 }), 9),
-        );
-        let mut stats = TopoStats::default();
-        stats.absorb(
-            "permuted-ring",
-            &e,
-            4,
-            &outcome(Some(12), 7),
-            Bounds { time: 40, cost: 60 },
-        );
-        let text = serde_json::to_string(&stats).unwrap();
-        let back: TopoStats = serde_json::from_str(&text).unwrap();
-        assert_eq!(back, stats);
-        // The witness's spec survives as a buildable recipe.
-        let w = back
-            .family("permuted-ring")
-            .unwrap()
-            .worst_time
-            .clone()
-            .unwrap();
-        assert_eq!(w.spec.build().unwrap().node_count(), 5);
     }
 }

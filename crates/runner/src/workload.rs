@@ -1,0 +1,214 @@
+//! The one sweep abstraction: a [`Workload`] is any index-stable, capped,
+//! shardable source of scenarios.
+//!
+//! Every experiment in this workspace has the same shape — enumerate an
+//! adversarial configuration space, run each configuration, fold
+//! worst-case witnesses, compare against the paper's time–cost bounds.
+//! The spaces differ (label/start/delay grids, k-agent fleets, hundreds
+//! of seeded topologies), but the pipeline does not, so the pipeline is
+//! defined **once** over this trait:
+//!
+//! ```text
+//! enumerate (Workload::pieces) → run (PieceExecutor) → fold (SweepReport)
+//!     → shard (Workload::shard) → merge (SweepReport::merge)
+//! ```
+//!
+//! A workload exposes its units as a virtual list indexed `0..size()`:
+//! unit `i` is always the same `(key, context, Scenario)` triple, no
+//! matter which process enumerates it or which contiguous range it lands
+//! in. That index stability is what makes everything downstream
+//! deterministic: [`Runner::sweep`](crate::Runner::sweep) folds outcomes
+//! at their global indices, worst-case witnesses tie-break toward the
+//! lowest global index, and [`SweepReport::merge`](crate::SweepReport::merge)
+//! reassembles sharded sweeps byte-identically.
+//!
+//! Two implementations ship here:
+//!
+//! * [`Grid`](crate::Grid) — one graph, scenarios enumerated from label
+//!   pairs × start pairs × delays (pair mode) or fleet sizes × rotations ×
+//!   delay phases (fleet mode). One piece, empty fold key.
+//! * [`TopoGrid`](crate::TopoGrid) — many graphs: the concatenation of
+//!   per-[`GraphSpec`](rendezvous_graph::GraphSpec) grids, each built
+//!   once. One piece per spec a range touches; the fold key is the spec's
+//!   graph family, so the report groups per family.
+
+use crate::grid::strided;
+use crate::topo::TopoEntry;
+use crate::{Bounds, Runner, RunnerError, Scenario, ScenarioOutcome};
+
+/// A contiguous run of one workload's units sharing a single context —
+/// what [`Runner::sweep`](crate::Runner::sweep) hands to the executor.
+///
+/// A [`Grid`](crate::Grid) range is always one piece; a
+/// [`TopoGrid`](crate::TopoGrid) range yields one piece per spec it
+/// touches (shard boundaries may fall inside a spec's scenario list).
+#[derive(Debug)]
+pub struct WorkPiece<'w> {
+    /// Global workload index of `scenarios[0]`.
+    pub offset: usize,
+    /// Fold key of every unit in the piece: the empty string for
+    /// single-group workloads, the graph family for topology sweeps.
+    /// [`SweepReport`](crate::SweepReport) groups its aggregates by this.
+    pub key: &'w str,
+    /// The topology context — the built graph, its spec, its grid — when
+    /// the workload sweeps many graphs; `None` for plain grids.
+    pub entry: Option<&'w TopoEntry>,
+    /// The piece's scenarios, in global index order.
+    pub scenarios: Vec<Scenario>,
+}
+
+/// Which kind of workload produced a sweep — the discriminant shard
+/// ledgers store so replay can detect a record that came from a
+/// different sweep sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// A scenario [`Grid`](crate::Grid) on one graph (pair or fleet mode).
+    Grid,
+    /// A [`TopoGrid`](crate::TopoGrid) over many graphs.
+    Topo,
+}
+
+impl std::fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadKind::Grid => write!(f, "grid"),
+            WorkloadKind::Topo => write!(f, "topo"),
+        }
+    }
+}
+
+/// A workload's self-description: its kind plus the two sizes that
+/// fingerprint the swept space (pre-cap and post-cap). Shard ledgers
+/// record this next to each partial fold so a merge or replay against a
+/// *different* sweep sequence fails loudly instead of folding garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadMeta {
+    /// What kind of workload this is.
+    pub kind: WorkloadKind,
+    /// Size of the space before any sampling cap (saturating).
+    pub full_size: usize,
+    /// Units the workload actually yields (caps applied) — equals
+    /// [`Workload::size`].
+    pub size: usize,
+}
+
+/// An index-stable, capped, shardable source of `(global index, context,
+/// Scenario)` units — the single abstraction behind every sweep.
+///
+/// # Contract
+///
+/// * **Index stability.** Unit `i` of `0..size()` is always the same
+///   scenario with the same key and context; enumeration applies any
+///   sampling cap *before* indexing, so every process that builds the
+///   same workload sees the same list.
+/// * **Pieces partition.** `pieces(lo, hi)` covers exactly `[lo, hi)` in
+///   global order with disjoint contiguous pieces (`piece.offset` rises,
+///   scenarios concatenate to the range).
+/// * **Shards partition.** The `of` ranges `shard(0, of) .. shard(of-1,
+///   of)` tile `[0, size())` in order, balanced to within one unit.
+///
+/// Under that contract, [`Runner::sweep`](crate::Runner::sweep) over any
+/// split of the index space merges back to the unsharded
+/// [`SweepReport`](crate::SweepReport) field for field — witnesses and
+/// their lowest-global-index tie-breaks included.
+pub trait Workload: Sync {
+    /// Total units the workload yields (sampling caps applied).
+    fn size(&self) -> usize;
+
+    /// The workload's ledger fingerprint.
+    fn meta(&self) -> WorkloadMeta;
+
+    /// Cuts the global index range `[lo, hi)` into contiguous pieces, in
+    /// global order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi` or `hi > self.size()`.
+    fn pieces(&self, lo: usize, hi: usize) -> Vec<WorkPiece<'_>>;
+
+    /// The global index range of shard `shard` of `of`: the balanced
+    /// contiguous partition every workload shares (same stride rule as
+    /// the sampling cap), so all workload kinds cut their index spaces
+    /// identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `of == 0` or `shard >= of`.
+    fn shard(&self, shard: usize, of: usize) -> (usize, usize) {
+        assert!(of > 0, "cannot split a workload into zero shards");
+        assert!(
+            shard < of,
+            "shard index {shard} out of range for {of} shards"
+        );
+        let len = self.size();
+        (strided(shard, len, of), strided(shard + 1, len, of))
+    }
+}
+
+/// Executes the pieces of a [`Workload`] — the seam between the generic
+/// sweep pipeline and the algorithm under test.
+///
+/// Per-scenario [`Executor`](crate::Executor)s get this for free via the
+/// blanket impl (no sweep-level bounds; per-outcome bounds still apply).
+/// Wrap one in [`Bounded`](crate::Bounded) to attach sweep-level
+/// [`Bounds`]; implement the trait directly when each piece needs its own
+/// machinery (topology sweeps build the algorithm per entry on the
+/// piece's cached graph).
+pub trait PieceExecutor: Sync {
+    /// Runs `piece.scenarios` (in order) and returns the outcomes **in
+    /// input order**, together with the bounds the piece's outcomes are
+    /// judged against (`None` when only per-outcome bounds apply).
+    ///
+    /// `runner` is the executor to use for the batch itself (e.g. via
+    /// [`Runner::outcomes`]); the sweep passes a sequential one when it
+    /// is already parallel across pieces.
+    ///
+    /// # Errors
+    ///
+    /// Any configuration or simulation error, which aborts the sweep.
+    fn run_piece(
+        &self,
+        runner: &Runner,
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError>;
+}
+
+impl<E: crate::Executor> PieceExecutor for E {
+    fn run_piece(
+        &self,
+        runner: &Runner,
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError> {
+        runner.outcomes(self, &piece.scenarios).map(|o| (o, None))
+    }
+}
+
+/// Attaches sweep-level [`Bounds`] to a per-scenario
+/// [`Executor`](crate::Executor): every outcome of every piece is judged
+/// against the same pair — the shape of the paper's two-agent sweeps,
+/// where one algorithm (hence one `E`, one bound pair) covers the whole
+/// grid.
+pub struct Bounded<'a> {
+    executor: &'a dyn crate::Executor,
+    bounds: Option<Bounds>,
+}
+
+impl<'a> Bounded<'a> {
+    /// Wraps `executor`, judging every outcome against `bounds`.
+    #[must_use]
+    pub fn new(executor: &'a dyn crate::Executor, bounds: Option<Bounds>) -> Self {
+        Bounded { executor, bounds }
+    }
+}
+
+impl PieceExecutor for Bounded<'_> {
+    fn run_piece(
+        &self,
+        runner: &Runner,
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError> {
+        runner
+            .outcomes(self.executor, &piece.scenarios)
+            .map(|o| (o, self.bounds))
+    }
+}

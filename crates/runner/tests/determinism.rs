@@ -1,8 +1,8 @@
 //! The Runner's two core guarantees, as tests:
 //!
-//! 1. **Determinism** — a parallel sweep produces aggregates identical to
-//!    a sequential fold of the very same grid (property-tested over random
-//!    instances);
+//! 1. **Determinism** — a parallel [`Runner::sweep`] produces a
+//!    [`SweepReport`] identical to a sequential fold of the very same
+//!    workload (property-tested over random instances);
 //! 2. **Model fidelity** — edge crossings are *never* reported as
 //!    meetings, no matter how they reach the statistics (regression test
 //!    for the paper's "agents crossing inside an edge do not notice each
@@ -13,7 +13,7 @@ use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::OrientedRingExplorer;
 use rendezvous_graph::{generators, NodeId, Port};
 use rendezvous_runner::{
-    fold_outcomes, AlgorithmExecutor, Bounds, Executor, FactoryExecutor, Grid, Runner,
+    fold_outcomes, AlgorithmExecutor, Bounded, Bounds, Executor, FactoryExecutor, Grid, Runner,
 };
 use rendezvous_sim::{Action, ScriptedAgent};
 use std::sync::Arc;
@@ -46,34 +46,34 @@ proptest! {
             .label_pairs_both_orders(&[(1, l), (l / 2, l / 2 + 1)])
             .delays(&[0, delay])
             .all_start_pairs(&g);
-        let scenarios = grid.scenarios();
         let executor = AlgorithmExecutor::new(alg.as_ref());
 
         // Reference: execute and fold strictly sequentially, by hand.
-        let outcomes: Vec<_> = scenarios
+        let outcomes: Vec<_> = grid
+            .scenarios()
             .iter()
             .map(|s| executor.run(s).expect("valid configuration"))
             .collect();
         let reference = fold_outcomes(&outcomes, bounds);
 
-        // Parallel runner over the same grid.
+        // Parallel runner over the same grid, as a Workload.
         let parallel = Runner::with_threads(threads)
-            .sweep_bounded(&executor, &scenarios, bounds)
+            .sweep(&grid, &Bounded::new(&executor, bounds))
             .expect("valid configurations");
 
-        prop_assert_eq!(parallel, reference);
+        prop_assert_eq!(&parallel, &reference);
         // And the single-threaded runner agrees too.
         let sequential = Runner::sequential()
-            .sweep_bounded(&executor, &scenarios, bounds)
+            .sweep(&grid, &Bounded::new(&executor, bounds))
             .expect("valid configurations");
-        prop_assert_eq!(sequential, reference);
+        prop_assert_eq!(&sequential, &reference);
         // Sanity: the paper's algorithms meet everywhere within 4x bounds.
-        prop_assert_eq!(reference.failures, 0);
+        prop_assert_eq!(reference.failures(), 0);
         prop_assert!(reference.clean());
     }
 
     /// The capped grid is a deterministic subset: sweeping it twice (with
-    /// different thread counts) gives identical stats.
+    /// different thread counts) gives identical reports.
     #[test]
     fn capped_grids_sweep_deterministically(
         n in 4usize..9,
@@ -88,11 +88,10 @@ proptest! {
             .delays(&[0, 1, 7])
             .all_start_pairs(&g)
             .sample_cap(cap);
-        let scenarios = grid.scenarios();
-        prop_assert!(scenarios.len() <= cap.min(grid.full_size()));
+        prop_assert!(grid.scenarios().len() <= cap.min(grid.full_size()));
         let executor = AlgorithmExecutor::new(&alg);
-        let a = Runner::with_threads(threads).sweep(&executor, &scenarios).unwrap();
-        let b = Runner::sequential().sweep(&executor, &scenarios).unwrap();
+        let a = Runner::with_threads(threads).sweep(&grid, &executor).unwrap();
+        let b = Runner::sequential().sweep(&grid, &executor).unwrap();
         prop_assert_eq!(a, b);
     }
 }
@@ -126,7 +125,7 @@ fn edge_crossings_are_never_reported_as_meetings() {
         .label_pairs_ordered(&[(1, 2)])
         .start_pairs(&pairs);
     for runner in [Runner::sequential(), Runner::with_threads(4)] {
-        let stats = runner.sweep(&executor, &grid.scenarios()).unwrap();
+        let stats = runner.sweep(&grid, &executor).unwrap().solo();
         assert_eq!(stats.executed, 4);
         assert_eq!(
             stats.meetings, 0,
@@ -164,8 +163,9 @@ fn worst_case_witness_of_walker_vs_idler_is_ring_length_minus_one() {
         .delays(&[0, 3, 10])
         .all_start_pairs(&g);
     let stats = Runner::with_threads(4)
-        .sweep(&executor, &grid.scenarios())
-        .unwrap();
+        .sweep(&grid, &executor)
+        .unwrap()
+        .solo();
     assert_eq!(stats.failures, 0);
     assert_eq!(stats.max_time, (n - 1) as u64, "idler just behind walker");
     assert_eq!(stats.max_cost, (n - 1) as u64);
@@ -191,8 +191,9 @@ fn algorithm_sweeps_account_meetings_and_crossings_separately() {
         .delays(&[0, 1, 5])
         .all_start_pairs(&g);
     let stats = Runner::parallel()
-        .sweep(&AlgorithmExecutor::new(&alg), &grid.scenarios())
-        .unwrap();
+        .sweep(&grid, &AlgorithmExecutor::new(&alg))
+        .unwrap()
+        .solo();
     assert_eq!(stats.meetings + stats.failures, stats.executed);
     assert_eq!(stats.failures, 0, "Fast always meets within 4x its bound");
 }

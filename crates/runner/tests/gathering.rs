@@ -1,10 +1,11 @@
 //! Gathering sweeps inherit the Runner's two multi-process guarantees,
 //! property-tested over random fleets (mirroring `tests/sharding.rs` for
-//! the pair sweeps):
+//! the pair sweeps) — a fleet-mode [`Grid`] is the same [`Workload`] as
+//! a pair grid, so the generic pipeline covers it unchanged:
 //!
 //! 1. **Order determinism** — a parallel gathering sweep folds to the
-//!    same [`SweepStats`] as a sequential one (merge events, per-scenario
-//!    ratio witnesses included);
+//!    same [`SweepReport`] as a sequential one (merge events,
+//!    per-scenario ratio witnesses included);
 //! 2. **Shard-merge byte identity** — for m ∈ {2, 3, 7}, sweeping the m
 //!    shards independently, serde-round-tripping each partial and merging
 //!    reproduces the unsharded sweep field for field *and byte for byte*
@@ -14,7 +15,7 @@ use proptest::prelude::*;
 use rendezvous_core::{Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::OrientedRingExplorer;
 use rendezvous_graph::generators;
-use rendezvous_runner::{FleetRule, GatheringExecutor, Grid, Runner, SweepStats};
+use rendezvous_runner::{FleetRule, GatheringExecutor, Grid, Runner, SweepReport};
 use std::sync::Arc;
 
 /// A fleet grid on an `n`-ring under `Fast` with label space `l`: fleet
@@ -52,19 +53,19 @@ proptest! {
         threads in 2usize..8,
     ) {
         let (executor, grid) = gathering_setup(n, l, phase);
-        let scenarios = grid.scenarios();
-        let sequential = Runner::sequential().sweep(&executor, &scenarios).unwrap();
+        let sequential = Runner::sequential().sweep(&grid, &executor).unwrap();
         let parallel = Runner::with_threads(threads)
-            .sweep(&executor, &scenarios)
+            .sweep(&grid, &executor)
             .unwrap();
         prop_assert_eq!(&parallel, &sequential);
         // The claim under test rides along: no failures, no violations
         // of the per-scenario (k−1)(T + max delay) bound, and the ratio
         // witness exists because every outcome carries its bound.
-        prop_assert_eq!(sequential.failures, 0);
-        prop_assert_eq!(sequential.time_violations, 0);
-        prop_assert!(sequential.worst_ratio.is_some());
-        prop_assert!(sequential.merges >= sequential.executed as u64);
+        let stats = sequential.solo();
+        prop_assert_eq!(stats.failures, 0);
+        prop_assert_eq!(stats.time_violations, 0);
+        prop_assert!(stats.worst_ratio.is_some());
+        prop_assert!(stats.merges >= stats.executed as u64);
     }
 
     /// For every m ∈ {2, 3, 7}: merging the m independently-swept,
@@ -77,19 +78,17 @@ proptest! {
         phase in 0u64..13,
     ) {
         let (executor, grid) = gathering_setup(n, l, phase);
-        let reference = Runner::sequential()
-            .sweep(&executor, &grid.scenarios())
-            .unwrap();
+        let reference = Runner::sequential().sweep(&grid, &executor).unwrap();
         let reference_json = serde_json::to_string(&reference).unwrap();
         for m in [2usize, 3, 7] {
-            let mut merged = SweepStats::default();
+            let mut merged = SweepReport::default();
             for i in 0..m {
-                let stats = Runner::sequential()
-                    .sweep_shard(&executor, &grid.shard(i, m), None)
+                let report = Runner::sequential()
+                    .sweep_shard(&grid, i, m, &executor)
                     .unwrap();
                 // Cross the "process boundary".
-                let json = serde_json::to_string(&stats).unwrap();
-                let back: SweepStats = serde_json::from_str(&json).unwrap();
+                let json = serde_json::to_string(&report).unwrap();
+                let back: SweepReport = serde_json::from_str(&json).unwrap();
                 merged = merged.merge(&back);
             }
             prop_assert_eq!(&merged, &reference, "m = {}", m);

@@ -1,14 +1,14 @@
 //! Multi-process determinism, single-process-tested: merging the shard
-//! sweeps of a grid must reproduce the unsharded sequential sweep **field
-//! for field** — witness indices included — for every shard count, and
-//! the stats must survive a serde round trip (the shard→merge path
-//! crosses a process boundary as JSON).
+//! sweeps of a grid workload must reproduce the unsharded sequential
+//! sweep **field for field** — witness indices included — for every
+//! shard count, and the report must survive a serde round trip (the
+//! shard→merge path crosses a process boundary as JSON).
 
 use proptest::prelude::*;
 use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::OrientedRingExplorer;
 use rendezvous_graph::generators;
-use rendezvous_runner::{AlgorithmExecutor, Bounds, Grid, Runner, SweepStats};
+use rendezvous_runner::{AlgorithmExecutor, Bounded, Bounds, Grid, Runner, SweepReport};
 use std::sync::Arc;
 
 fn sweep_setup(n: usize, l: u64, fast: bool) -> (Box<dyn RendezvousAlgorithm>, Option<Bounds>) {
@@ -32,7 +32,7 @@ proptest! {
 
     /// For every m ∈ {2, 3, 7}: sweep each of the m shards independently
     /// (each through its own executor, as separate processes would),
-    /// serde-round-trip the per-shard stats, merge them in order and in
+    /// serde-round-trip the per-shard reports, merge them in order and in
     /// reverse — both must equal the unsharded sequential sweep exactly.
     #[test]
     fn merging_shard_sweeps_equals_the_unsharded_sweep(
@@ -53,44 +53,45 @@ proptest! {
             grid = grid.sample_cap(cap);
         }
 
+        let reference_executor = AlgorithmExecutor::new(alg.as_ref());
         let reference = Runner::sequential()
-            .sweep_bounded(&AlgorithmExecutor::new(alg.as_ref()), &grid.scenarios(), bounds)
+            .sweep(&grid, &Bounded::new(&reference_executor, bounds))
             .expect("valid configurations");
 
         for m in [2usize, 3, 7] {
-            let mut merged = SweepStats::default();
-            let mut reversed = SweepStats::default();
-            let shard_stats: Vec<SweepStats> = (0..m)
+            let mut merged = SweepReport::default();
+            let mut reversed = SweepReport::default();
+            let shard_reports: Vec<SweepReport> = (0..m)
                 .map(|i| {
-                    let shard = grid.shard(i, m);
                     // Fresh executor per shard: each process compiles its
                     // own schedule cache; determinism must not depend on a
                     // shared one.
                     let executor = AlgorithmExecutor::new(alg.as_ref());
-                    let stats = Runner::sequential()
-                        .sweep_shard(&executor, &shard, bounds)
+                    let report = Runner::sequential()
+                        .sweep_shard(&grid, i, m, &Bounded::new(&executor, bounds))
                         .expect("valid configurations");
                     // Cross the "process boundary".
-                    let json = serde_json::to_string(&stats).expect("serializable");
+                    let json = serde_json::to_string(&report).expect("serializable");
                     serde_json::from_str(&json).expect("round trip")
                 })
                 .collect();
-            for stats in &shard_stats {
-                merged = merged.merge(stats);
+            for report in &shard_reports {
+                merged = merged.merge(report);
             }
-            for stats in shard_stats.iter().rev() {
-                reversed = reversed.merge(stats);
+            for report in shard_reports.iter().rev() {
+                reversed = reversed.merge(report);
             }
-            prop_assert_eq!(merged, reference, "m = {}", m);
-            prop_assert_eq!(reversed, reference, "m = {} (reverse merge)", m);
+            prop_assert_eq!(&merged, &reference, "m = {}", m);
+            prop_assert_eq!(&reversed, &reference, "m = {} (reverse merge)", m);
         }
     }
 }
 
-/// The executor's schedule cache changes nothing observable: a sweep with
-/// one shared executor equals a sweep where every scenario pays a fresh
-/// compile (the pre-cache behavior), and the cache holds exactly the
-/// distinct labels of the grid.
+/// The executor's two compile caches (label → schedule, (label, start) →
+/// flat plan) change nothing observable: a sweep with one shared executor
+/// equals a sweep where every scenario pays a fresh compile (the
+/// pre-cache behavior), and the caches hold exactly the distinct labels /
+/// (label, start) pairs of the grid.
 #[test]
 fn schedule_memoization_is_invisible_to_results() {
     let (alg, bounds) = sweep_setup(7, 6, true);
@@ -98,21 +99,22 @@ fn schedule_memoization_is_invisible_to_results() {
         .label_pairs_both_orders(&[(1, 6), (2, 3), (1, 3)])
         .delays(&[0, 2, 5])
         .all_start_pairs(alg.graph());
-    let scenarios = grid.scenarios();
 
     let shared = AlgorithmExecutor::new(alg.as_ref());
     let cached = Runner::parallel()
-        .sweep_bounded(&shared, &scenarios, bounds)
+        .sweep(&grid, &Bounded::new(&shared, bounds))
         .unwrap();
-    // Distinct labels of the grid: {1, 2, 3, 6}.
+    // Distinct labels of the grid: {1, 2, 3, 6}; every label visits every
+    // one of the 7 start nodes across the ordered start pairs.
     assert_eq!(shared.compiled_labels(), 4);
+    assert_eq!(shared.compiled_plans(), 4 * 7);
 
-    let mut uncached = SweepStats::default();
-    for (i, s) in scenarios.iter().enumerate() {
+    let mut uncached = SweepReport::default();
+    for (i, s) in grid.scenarios().iter().enumerate() {
         use rendezvous_runner::Executor;
         // A fresh executor per scenario recompiles every schedule.
         let outcome = AlgorithmExecutor::new(alg.as_ref()).run(s).unwrap();
-        uncached.absorb(i, &outcome, bounds);
+        uncached.absorb("", i, None, &outcome, bounds);
     }
     assert_eq!(cached, uncached);
 }
@@ -130,4 +132,9 @@ fn cached_executor_still_rejects_invalid_labels() {
         "label outside the space must not cache"
     );
     assert_eq!(executor.compiled_labels(), 1);
+    // The flat-plan cache guards the same boundary.
+    use rendezvous_graph::NodeId;
+    assert!(executor.plan(0, NodeId::new(0)).is_err());
+    assert!(executor.plan(3, NodeId::new(2)).is_ok());
+    assert_eq!(executor.compiled_plans(), 1);
 }

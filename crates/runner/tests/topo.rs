@@ -1,35 +1,35 @@
 //! Topology-sweep determinism: merging the shard sweeps of a [`TopoGrid`]
-//! must reproduce the unsharded sweep **byte for byte** — per-family
-//! aggregates, witnesses and their `(spec, scenario)` indices included —
-//! for every shard count, surviving a JSON round trip (the shard→merge
-//! path crosses a process boundary as text).
+//! workload must reproduce the unsharded sweep **byte for byte** —
+//! per-family groups, witnesses and their global indices included — for
+//! every shard count, surviving a JSON round trip (the shard→merge path
+//! crosses a process boundary as text).
 
 use proptest::prelude::*;
 use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::spec_explorer;
 use rendezvous_graph::{GraphSpec, RingSpec, SeededSpec, TorusSpec};
 use rendezvous_runner::{
-    AlgorithmExecutor, Bounds, Grid, Runner, Scenario, ScenarioOutcome, TopoEntry, TopoExecutor,
-    TopoGrid, TopoStats,
+    AlgorithmExecutor, Bounds, Grid, PieceExecutor, Runner, RunnerError, ScenarioOutcome,
+    SweepReport, TopoGrid, WorkPiece, Workload,
 };
 
-/// Per-entry executor used by the real `x10_topologies` experiment shape:
-/// resolve the spec's explorer, build the algorithm on the entry's cached
+/// Per-piece executor used by the real `x10_topologies` experiment shape:
+/// resolve the spec's explorer, build the algorithm on the piece's cached
 /// graph, sweep through the shared engine.
 struct AlgoTopo {
     l: u64,
     fast: bool,
 }
 
-impl TopoExecutor for AlgoTopo {
-    fn run_entry(
+impl PieceExecutor for AlgoTopo {
+    fn run_piece(
         &self,
         runner: &Runner,
-        entry: &TopoEntry,
-        scenarios: &[Scenario],
-    ) -> Result<(Vec<ScenarioOutcome>, Bounds), rendezvous_runner::RunnerError> {
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError> {
+        let entry = piece.entry.expect("topology pieces carry their entry");
         let explorer = spec_explorer(&entry.spec, entry.graph.clone())
-            .map_err(|e| rendezvous_runner::RunnerError::new(e.to_string()))?;
+            .map_err(|e| RunnerError::new(e.to_string()))?;
         let space = LabelSpace::new(self.l).expect("l >= 2");
         let alg: Box<dyn RendezvousAlgorithm> = if self.fast {
             Box::new(Fast::new(entry.graph.clone(), explorer, space))
@@ -40,8 +40,8 @@ impl TopoExecutor for AlgoTopo {
             time: alg.time_bound(),
             cost: alg.cost_bound(),
         };
-        let outcomes = runner.outcomes(&AlgorithmExecutor::new(alg.as_ref()), scenarios)?;
-        Ok((outcomes, bounds))
+        let outcomes = runner.outcomes(&AlgorithmExecutor::new(alg.as_ref()), &piece.scenarios)?;
+        Ok((outcomes, Some(bounds)))
     }
 }
 
@@ -80,7 +80,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// For every m ∈ {2, 3, 7}: sweep each topo shard independently,
-    /// JSON-round-trip the per-shard stats, merge in order and in
+    /// JSON-round-trip the per-shard reports, merge in order and in
     /// reverse — both must equal the unsharded sweep exactly, and the
     /// merged JSON must be **byte-identical** to the direct sweep's.
     #[test]
@@ -92,29 +92,29 @@ proptest! {
     ) {
         let topo = build_topo(seed, l, cap);
         let exec = AlgoTopo { l, fast: fast == 1 };
-        let reference = Runner::sequential().sweep_topo(&topo, &exec).expect("sweep");
+        let reference = Runner::sequential().sweep(&topo, &exec).expect("sweep");
         prop_assert_eq!(reference.executed(), topo.size());
         prop_assert!(reference.clean(), "paper bounds must hold on every sampled topology");
 
         let reference_json = serde_json::to_string(&reference).expect("serializable");
         for m in [2usize, 3, 7] {
-            let mut merged = TopoStats::default();
-            let mut reversed = TopoStats::default();
-            let shard_stats: Vec<TopoStats> = (0..m)
+            let mut merged = SweepReport::default();
+            let mut reversed = SweepReport::default();
+            let shard_reports: Vec<SweepReport> = (0..m)
                 .map(|i| {
-                    let stats = Runner::sequential()
-                        .sweep_topo_shard(&topo, i, m, &exec)
+                    let report = Runner::sequential()
+                        .sweep_shard(&topo, i, m, &exec)
                         .expect("shard sweep");
                     // Cross the "process boundary".
-                    let json = serde_json::to_string(&stats).expect("serializable");
+                    let json = serde_json::to_string(&report).expect("serializable");
                     serde_json::from_str(&json).expect("round trip")
                 })
                 .collect();
-            for stats in &shard_stats {
-                merged = merged.merge(stats);
+            for report in &shard_reports {
+                merged = merged.merge(report);
             }
-            for stats in shard_stats.iter().rev() {
-                reversed = reversed.merge(stats);
+            for report in shard_reports.iter().rev() {
+                reversed = reversed.merge(report);
             }
             prop_assert_eq!(&merged, &reference, "m = {}", m);
             prop_assert_eq!(&reversed, &reference, "m = {} (reverse merge)", m);
@@ -131,27 +131,26 @@ proptest! {
     fn parallel_topo_sweep_is_deterministic(seed in 0u64..200) {
         let topo = build_topo(seed, 4, 9);
         let exec = AlgoTopo { l: 4, fast: false };
-        let seq = Runner::sequential().sweep_topo(&topo, &exec).expect("sweep");
-        let par = Runner::with_threads(8).sweep_topo(&topo, &exec).expect("sweep");
+        let seq = Runner::sequential().sweep(&topo, &exec).expect("sweep");
+        let par = Runner::with_threads(8).sweep(&topo, &exec).expect("sweep");
         prop_assert_eq!(seq, par);
     }
 }
 
-/// The cached graph contract: every scenario of a spec executes on the
-/// same `Arc` allocation (pointer equality), not a rebuilt clone.
+/// The cached graph contract: every piece of any sharding refers back to
+/// the same entry — and hence the same `Arc` allocation — not a rebuilt
+/// clone.
 #[test]
 fn entries_share_one_graph_allocation_per_spec() {
     let topo = build_topo(7, 3, 10);
     for entry in topo.entries() {
         let again = entry.spec.build().unwrap();
         assert_eq!(*entry.graph, again, "spec determinism");
-        // All pieces of any sharding refer back to the same entry (and
-        // hence the same Arc) — the graph cache is structural.
         for m in [2usize, 5] {
             for i in 0..m {
                 let (lo, hi) = topo.shard(i, m);
                 for piece in topo.pieces(lo, hi) {
-                    let e = &topo.entries()[piece.entry];
+                    let e = piece.entry.expect("topology pieces carry their entry");
                     if e.spec_index == entry.spec_index {
                         assert!(std::sync::Arc::ptr_eq(&e.graph, &entry.graph));
                     }

@@ -50,15 +50,17 @@ fn experiment_rows_serialize_for_csv_and_json_export() {
     assert_eq!(serde_json::to_string(&m).unwrap(), r#"{"time":3,"cost":4}"#);
 }
 
-/// A shard ledger whose sweep stats carry **k-agent** scenarios (fleet
-/// witnesses with their `Vec<Placement>` and per-scenario ratio bounds)
-/// must round-trip byte-identically through the vendored serde — the
-/// property the multi-process gathering sweeps of X9/X11 stand on.
+/// A shard ledger — a stream of tagged [`LedgerRecord`] enum values
+/// (struct variants, the derive support added for the unified ledger) —
+/// must round-trip **byte-identically** through the vendored serde,
+/// k-agent fleet witnesses, per-family topology groups and per-scenario
+/// ratio bounds included: the property every multi-process sweep of
+/// x1–x11 stands on.
 #[test]
-fn shard_ledgers_round_trip_k_agent_scenarios_byte_identically() {
-    use rendezvous_bench::sharding::{ShardEmission, SweepRecord};
-    use rendezvous_graph::NodeId;
-    use rendezvous_runner::{Placement, Scenario, ScenarioOutcome, SweepStats};
+fn shard_ledgers_round_trip_tagged_records_byte_identically() {
+    use rendezvous_bench::sharding::{LedgerRecord, ShardEmission};
+    use rendezvous_graph::{GraphSpec, NodeId, RingSpec};
+    use rendezvous_runner::{Bounds, Placement, Scenario, ScenarioOutcome, SweepReport};
 
     let fleet = Scenario::fleet(
         (0..4)
@@ -70,9 +72,11 @@ fn shard_ledgers_round_trip_k_agent_scenarios_byte_identically() {
             .collect(),
         2_048,
     );
-    let mut stats = SweepStats::default();
-    stats.absorb(
+    let mut fleet_report = SweepReport::default();
+    fleet_report.absorb(
+        "",
         9,
+        None,
         &ScenarioOutcome {
             scenario: fleet,
             time: Some(311),
@@ -83,23 +87,53 @@ fn shard_ledgers_round_trip_k_agent_scenarios_byte_identically() {
         },
         None,
     );
+    let mut topo_report = SweepReport::default();
+    topo_report.absorb(
+        "ring",
+        4,
+        Some(&GraphSpec::Ring(RingSpec { n: 7 })),
+        &ScenarioOutcome::pairwise(
+            Scenario::pair(1, 4, NodeId::new(0), NodeId::new(3), 2, 120),
+            Some(11),
+            9,
+            0,
+        ),
+        Some(Bounds { time: 60, cost: 18 }),
+    );
     let emission = ShardEmission {
         shard: 1,
         of: 3,
-        sweeps: vec![SweepRecord {
-            full_size: 12,
-            size: 12,
-            stats,
-        }],
-        topo: vec![],
+        records: vec![
+            LedgerRecord::Grid {
+                full_size: 40,
+                size: 12,
+                report: fleet_report,
+            },
+            LedgerRecord::Topo {
+                full_size: 96,
+                size: 48,
+                report: topo_report,
+            },
+        ],
     };
     let json = serde_json::to_string_pretty(&emission).unwrap();
     let back: ShardEmission = serde_json::from_str(&json).unwrap();
     assert_eq!(serde_json::to_string_pretty(&back).unwrap(), json);
-    let witness = back.sweeps[0].stats.worst_ratio.as_ref().unwrap();
+    // The externally tagged encoding is visible in the text…
+    assert!(json.contains("\"Grid\"") && json.contains("\"Topo\""));
+    // …and the payloads come back intact.
+    let stats = back.records[0].report().solo();
+    let witness = stats.worst_ratio.as_ref().unwrap();
     assert_eq!(witness.scenario.k(), 4);
-    assert_eq!(witness.time_bound, 900);
-    assert_eq!(back.sweeps[0].stats.merges, 3);
+    assert_eq!(witness.time_bound, Some(900));
+    assert_eq!(stats.merges, 3);
+    let ring = back.records[1].report().group("ring").unwrap().clone();
+    let witness = ring.worst_time.as_ref().unwrap();
+    assert_eq!(
+        witness.spec.as_ref().unwrap().build().unwrap().node_count(),
+        7
+    );
+    assert_eq!(witness.cost_bound, Some(18));
 }
 
 /// The vendored serde's tuple impls: `(label, start, delay)` placement

@@ -2,8 +2,8 @@
 //!
 //! The real `serde_derive` pulls in `syn`/`quote`; this container has no
 //! network access, so the subset of the derive input grammar actually used
-//! by the workspace (plain structs, C-like/newtype enum variants, the
-//! `#[serde(transparent)]` attribute) is parsed by hand from the token
+//! by the workspace (plain structs, C-like/newtype/struct enum variants,
+//! the `#[serde(transparent)]` attribute) is parsed by hand from the token
 //! stream. Generics are intentionally unsupported.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
@@ -23,8 +23,20 @@ enum Kind {
     Struct(Vec<String>),
     /// Tuple struct with this many fields.
     Tuple(usize),
-    /// Enum: (variant name, arity) where arity is 0 (unit) or 1 (newtype).
-    Enum(Vec<(String, usize)>),
+    /// Enum: one entry per variant.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+/// The shape of one enum variant. Externally tagged like real serde:
+/// unit variants encode as `"Name"`, newtype variants as
+/// `{"Name": inner}`, struct variants as `{"Name": {field: …}}`.
+enum VariantShape {
+    Unit,
+    Newtype,
+    /// Struct-like variant with named fields in declaration order — what
+    /// self-describing tagged records (e.g. the shard ledger's
+    /// `LedgerRecord`) derive through.
+    Struct(Vec<String>),
 }
 
 fn parse_input(input: TokenStream) -> Input {
@@ -142,7 +154,7 @@ fn count_tuple_fields(body: &proc_macro::Group) -> usize {
     split_commas(body).len()
 }
 
-fn parse_variants(body: &proc_macro::Group) -> Vec<(String, usize)> {
+fn parse_variants(body: &proc_macro::Group) -> Vec<(String, VariantShape)> {
     split_commas(body)
         .iter()
         .map(|part| {
@@ -151,19 +163,22 @@ fn parse_variants(body: &proc_macro::Group) -> Vec<(String, usize)> {
                 Some(TokenTree::Ident(id)) => id.to_string(),
                 other => panic!("serde derive: expected variant name, found {other:?}"),
             };
-            let arity = match part.get(1) {
+            let shape = match part.get(1) {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                    split_commas(g).len()
+                    match split_commas(g).len() {
+                        1 => VariantShape::Newtype,
+                        n => panic!(
+                            "serde derive (vendored): tuple enum variants take exactly one \
+                             field, `{name}` has {n}"
+                        ),
+                    }
                 }
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                    panic!("serde derive (vendored): struct-like enum variants are not supported")
+                    VariantShape::Struct(parse_named_fields(g))
                 }
-                _ => 0,
+                _ => VariantShape::Unit,
             };
-            if arity > 1 {
-                panic!("serde derive (vendored): multi-field enum variants are not supported");
-            }
-            (name, arity)
+            (name, shape)
         })
         .collect()
 }
@@ -199,16 +214,34 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Kind::Enum(variants) => {
             let arms: Vec<String> = variants
                 .iter()
-                .map(|(v, arity)| match arity {
-                    0 => format!(
+                .map(|(v, shape)| match shape {
+                    VariantShape::Unit => format!(
                         "{name}::{v} => \
                          ::serde::Value::String(::std::string::String::from(\"{v}\")),"
                     ),
-                    _ => format!(
+                    VariantShape::Newtype => format!(
                         "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
                          ::std::string::String::from(\"{v}\"), \
                          ::serde::Serialize::to_value(f0))]),"
                     ),
+                    VariantShape::Struct(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), \
+                                     ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                             ::std::string::String::from(\"{v}\"), \
+                             ::serde::Value::Object(::std::vec![{}]))]),",
+                            entries.join(", ")
+                        )
+                    }
                 })
                 .collect();
             format!("match self {{ {} }}", arms.join(" "))
@@ -258,19 +291,35 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Kind::Enum(variants) => {
             let unit_arms: Vec<String> = variants
                 .iter()
-                .filter(|(_, a)| *a == 0)
+                .filter(|(_, shape)| matches!(shape, VariantShape::Unit))
                 .map(|(v, _)| {
                     format!("if s == \"{v}\" {{ return ::std::result::Result::Ok({name}::{v}); }}")
                 })
                 .collect();
-            let newtype_arms: Vec<String> = variants
+            let tagged_arms: Vec<String> = variants
                 .iter()
-                .filter(|(_, a)| *a == 1)
-                .map(|(v, _)| {
-                    format!(
+                .filter_map(|(v, shape)| match shape {
+                    VariantShape::Unit => None,
+                    VariantShape::Newtype => Some(format!(
                         "if key == \"{v}\" {{ return ::std::result::Result::Ok(\
                          {name}::{v}(::serde::Deserialize::from_value(inner)?)); }}"
-                    )
+                    )),
+                    VariantShape::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(\
+                                     ::serde::field(inner, \"{f}\")?)?"
+                                )
+                            })
+                            .collect();
+                        Some(format!(
+                            "if key == \"{v}\" {{ return ::std::result::Result::Ok(\
+                             {name}::{v} {{ {} }}); }}",
+                            inits.join(", ")
+                        ))
+                    }
                 })
                 .collect();
             format!(
@@ -278,11 +327,11 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
                  return ::std::result::Result::Err(::serde::DeError::custom(\
                  \"unknown unit variant\")); }}\n\
                  if let ::std::option::Option::Some((key, inner)) = \
-                 ::serde::single_entry(value) {{ {newtype} }}\n\
+                 ::serde::single_entry(value) {{ {tagged} }}\n\
                  ::std::result::Result::Err(::serde::DeError::custom(\
                  \"unrecognised enum encoding\"))",
                 unit = unit_arms.join(" "),
-                newtype = newtype_arms.join(" "),
+                tagged = tagged_arms.join(" "),
             )
         }
     };

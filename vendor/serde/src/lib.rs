@@ -12,7 +12,8 @@
 //! * objects preserve insertion order (matching real `serde_json`'s
 //!   struct-field ordering);
 //! * only the types this workspace derives are supported (plain structs,
-//!   unit/newtype enum variants, `#[serde(transparent)]` newtypes).
+//!   unit/newtype/struct enum variants — externally tagged, as in real
+//!   serde — and `#[serde(transparent)]` newtypes).
 
 pub use serde_derive::{Deserialize, Serialize};
 
