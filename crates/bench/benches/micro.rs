@@ -2,8 +2,12 @@
 //! computation, label machinery. These measure the *simulator's* speed
 //! (the paper makes no wall-clock claims); the X-benches measure the
 //! paper's round/cost metrics.
+//!
+//! Besides the stdout report, the run writes every `(name, median
+//! ns/iter)` pair to `BENCH_micro.json` at the repo root, so the perf
+//! trajectory is tracked across changes.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use criterion::{criterion_group, BatchSize, Criterion};
 use rendezvous_core::{lex_subset_bits, Fast, Label, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{dfs_walk, DfsMapExplorer, Explorer, OrientedRingExplorer};
 use rendezvous_graph::{generators, NodeId, Port};
@@ -246,9 +250,91 @@ fn topo_graph_build(c: &mut Criterion) {
     });
 }
 
+/// The delay-batched solver against the stepped engine on the same
+/// delay sweep — the O(D·T) → O(T+D) tentpole measurement. Both variants
+/// start from precompiled plans (matching the production executors,
+/// where the `(label, start)` plan cache makes compilation a one-off),
+/// so the ratio isolates solve time. D = 24 delays ≥ the 16 the
+/// acceptance threshold is defined at.
+fn batch_solving(c: &mut Criterion) {
+    use rendezvous_core::FlatPlan;
+    use rendezvous_sim::BatchSolver;
+    let g = Arc::new(generators::oriented_ring(64).unwrap());
+    let ex: Arc<dyn Explorer> = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let alg = Fast::new(g.clone(), ex, LabelSpace::new(64).unwrap());
+    let schedule_a = Arc::new(alg.schedule(Label::new(17).unwrap()).unwrap());
+    let schedule_b = Arc::new(alg.schedule(Label::new(42).unwrap()).unwrap());
+    let (start_a, start_b) = (NodeId::new(0), NodeId::new(31));
+    let plan_a = Arc::new(FlatPlan::compile(
+        g.clone(),
+        Arc::clone(&schedule_a),
+        start_a,
+    ));
+    let plan_b = Arc::new(FlatPlan::compile(
+        g.clone(),
+        Arc::clone(&schedule_b),
+        start_b,
+    ));
+    let horizon = alg.time_bound();
+    let delays: Vec<u64> = (0..24).collect();
+    c.bench_function("batch/delay_sweep_stepped", |b| {
+        b.iter(|| {
+            let mut met = 0u64;
+            for &d in &delays {
+                let out = Simulation::new(&g)
+                    .agent(Box::new(plan_a.behavior()), AgentSpec::immediate(start_a))
+                    .agent(Box::new(plan_b.behavior()), AgentSpec::delayed(start_b, d))
+                    .max_rounds(horizon)
+                    .meeting_condition(MeetingCondition::FirstPair)
+                    .run()
+                    .unwrap();
+                met += u64::from(out.met());
+            }
+            black_box(met)
+        });
+    });
+    c.bench_function("batch/delay_sweep_batched", |b| {
+        b.iter(|| {
+            let solver = BatchSolver::new(plan_a.trajectory(), plan_b.trajectory(), horizon);
+            let mut met = 0u64;
+            for &d in &delays {
+                met += u64::from(solver.solve(d).round.is_some());
+            }
+            black_box(met)
+        });
+    });
+    // The one-off cost the batched path adds on a plan-cache miss:
+    // compiling a plan now also records its trajectory.
+    c.bench_function("batch/trajectory_compile", |b| {
+        b.iter(|| {
+            black_box(
+                FlatPlan::compile(g.clone(), Arc::clone(&schedule_a), start_a)
+                    .trajectory()
+                    .steps(),
+            )
+        });
+    });
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = engine_throughput, engine_occupancy, engine_flat_plan, walk_computation, label_machinery, graph_generation, topo_graph_build
+    targets = engine_throughput, engine_occupancy, engine_flat_plan, walk_computation, label_machinery, graph_generation, topo_graph_build, batch_solving
 }
-criterion_main!(benches);
+
+/// Runs every group, then persists the recorded medians as
+/// `BENCH_micro.json` at the repo root (bench names are `[a-z0-9_/]`, so
+/// plain string formatting is valid JSON).
+fn main() {
+    benches();
+    let results = criterion::take_results();
+    let mut doc = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        doc.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+    }
+    doc.push_str("}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
+    std::fs::write(path, &doc).expect("write BENCH_micro.json");
+    println!("\nwrote {} medians to BENCH_micro.json", results.len());
+}

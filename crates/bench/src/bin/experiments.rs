@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! experiments [all|x1|x2|...|x11]... [--topo] [--quick] [--json]
-//!             [--sequential|--parallel]
+//!             [--sequential|--parallel] [--engine stepped|batched]
 //!             [--shard i/m [--emit-shard]] [--merge-shards FILE...]
 //!             [--spawn-shards m]
 //! ```
@@ -24,6 +24,11 @@
 //! ```text
 //! diff <(experiments all --quick --sequential) <(experiments all --quick --parallel)
 //! ```
+//!
+//! `--engine batched` swaps the stepped simulator for the delay-batched
+//! trajectory solver (`BatchExecutor`) in every pair sweep — same knob
+//! shape: the outputs are **byte-identical** to `--engine stepped` (the
+//! default), only faster, and CI diffs the two on every push.
 //!
 //! # Sharded sweeps (multi-process)
 //!
@@ -212,6 +217,22 @@ fn main() {
                     .next()
                     .unwrap_or_else(|| usage_error("--shard requires an i/m argument"));
                 shard = Some(parse_shard_spec(&spec));
+                continue;
+            }
+            // Forwarded (flag and value) so spawned shards sweep through
+            // the same engine as the parent.
+            "--engine" => {
+                let name = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--engine requires stepped or batched"));
+                match engine::Engine::parse(&name) {
+                    Some(choice) => engine::set_engine(choice),
+                    None => usage_error(&format!(
+                        "--engine expects stepped or batched, got `{name}`"
+                    )),
+                }
+                passthrough.push(arg);
+                passthrough.push(name);
                 continue;
             }
             "--spawn-shards" => {

@@ -6,8 +6,8 @@ use rendezvous_core::RendezvousAlgorithm;
 use rendezvous_explore::{Explorer, OrientedRingExplorer};
 use rendezvous_graph::{generators, PortLabeledGraph};
 use rendezvous_runner::{
-    AlgorithmExecutor, Bounded, Bounds, Grid, GroupStats, PieceExecutor, Runner, SweepReport,
-    Workload,
+    AlgorithmExecutor, BatchExecutor, Bounded, Bounds, Grid, GroupStats, PieceExecutor, Runner,
+    SweepReport, Workload,
 };
 use serde::Serialize;
 use std::fmt::Write as _;
@@ -124,15 +124,24 @@ pub fn sweep_worst(
         time: algorithm.time_bound(),
         cost: algorithm.cost_bound(),
     });
-    let executor = AlgorithmExecutor::new(algorithm);
-    let stats = sweep_recorded(
-        algorithm.name(),
-        &grid,
-        &Bounded::new(&executor, bounds),
-        runner,
-    )
-    .solo();
-    check_failures(algorithm, stats)
+    // Both engines fold byte-identical reports (CI diffs them on every
+    // push); `--engine batched` collapses the delay axis per start pair.
+    let report = match crate::engine::current() {
+        crate::engine::Engine::Stepped => {
+            let executor = AlgorithmExecutor::new(algorithm);
+            sweep_recorded(
+                algorithm.name(),
+                &grid,
+                &Bounded::new(&executor, bounds),
+                runner,
+            )
+        }
+        crate::engine::Engine::Batched => {
+            let executor = BatchExecutor::new(algorithm).with_bounds(bounds);
+            sweep_recorded(algorithm.name(), &grid, &executor, runner)
+        }
+    };
+    check_failures(algorithm, report.solo())
 }
 
 /// Asserts the paper's always-meets guarantee over (possibly partial)

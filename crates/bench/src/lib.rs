@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod engine;
 pub mod sharding;
 pub mod x10_topologies;
 pub mod x11_gathering_topo;

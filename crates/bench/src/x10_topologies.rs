@@ -22,8 +22,8 @@ use rendezvous_core::{Cheap, Fast, LabelSpace, RendezvousAlgorithm};
 use rendezvous_explore::{spec_explorer, Explorer};
 use rendezvous_graph::{ErdosRenyiSpec, GraphSpec, RegularSpec, RingSpec, SeededSpec, TorusSpec};
 use rendezvous_runner::{
-    AlgorithmExecutor, Bounds, Grid, PieceExecutor, Runner, RunnerError, ScenarioOutcome,
-    SweepReport, TopoEntry, TopoGrid, WorkPiece,
+    AlgorithmExecutor, BatchExecutor, Bounds, Grid, PieceExecutor, Runner, RunnerError,
+    ScenarioOutcome, SweepReport, TopoEntry, TopoGrid, WorkPiece,
 };
 use serde::Serialize;
 use std::sync::Arc;
@@ -116,8 +116,19 @@ impl PieceExecutor for AlgoTopoExecutor {
             time: alg.time_bound(),
             cost: alg.cost_bound(),
         };
-        let outcomes = runner.outcomes(&AlgorithmExecutor::new(alg.as_ref()), &piece.scenarios)?;
-        Ok((outcomes, Some(bounds)))
+        // Same engine switch as `common::sweep_worst`: the batched
+        // executor folds at the piece's global offsets, so reports and
+        // the shard ledger stay byte-identical either way.
+        match crate::engine::current() {
+            crate::engine::Engine::Stepped => {
+                let outcomes =
+                    runner.outcomes(&AlgorithmExecutor::new(alg.as_ref()), &piece.scenarios)?;
+                Ok((outcomes, Some(bounds)))
+            }
+            crate::engine::Engine::Batched => BatchExecutor::new(alg.as_ref())
+                .with_bounds(Some(bounds))
+                .run_piece(runner, piece),
+        }
     }
 }
 

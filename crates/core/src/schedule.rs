@@ -9,7 +9,7 @@
 
 use rendezvous_explore::{ExploreRun, Explorer};
 use rendezvous_graph::{NodeId, Port, PortLabeledGraph};
-use rendezvous_sim::{Action, AgentBehavior, Observation};
+use rendezvous_sim::{Action, AgentBehavior, Observation, Trajectory};
 use std::fmt;
 use std::sync::Arc;
 
@@ -278,6 +278,7 @@ impl ScheduleBehavior {
 pub struct FlatPlan {
     actions: Vec<Action>,
     end_position: NodeId,
+    trajectory: Trajectory,
 }
 
 impl FlatPlan {
@@ -296,19 +297,25 @@ impl FlatPlan {
         let total = schedule.total_rounds();
         let mut behavior = ScheduleBehavior::with_shared(Arc::clone(&graph), schedule, start);
         let mut actions = Vec::with_capacity(usize::try_from(total).unwrap_or(0));
+        let node_index =
+            |node: NodeId| u32::try_from(node.index()).expect("node index fits in u32");
+        let mut trajectory = Trajectory::new(node_index(start));
         for round in 0..total {
             // The behavior reads only the degree from its observation
             // (it tracks position and entry ports internally), so the
             // synthesized observation needs nothing else.
-            actions.push(behavior.next_action(Observation {
+            let action = behavior.next_action(Observation {
                 local_round: round,
                 degree: graph.degree(behavior.position()),
                 entry_port: None,
-            }));
+            });
+            trajectory.push(node_index(behavior.position()), action.is_move());
+            actions.push(action);
         }
         FlatPlan {
             actions,
             end_position: behavior.position(),
+            trajectory,
         }
     }
 
@@ -334,6 +341,15 @@ impl FlatPlan {
     #[must_use]
     pub fn end_position(&self) -> NodeId {
         self.end_position
+    }
+
+    /// The position-and-moves trace recorded during compilation, the
+    /// input of the delay-batched
+    /// [`BatchSolver`](rendezvous_sim::BatchSolver): `positions()[r]` is
+    /// the node index after round `r` of the plan.
+    #[must_use]
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
     }
 
     /// A behavior replaying this plan from its first round.
@@ -556,6 +572,20 @@ mod tests {
                     assert_eq!(flat_trace.positions, step_trace.positions);
                     assert_eq!(plan.len() as u64, rounds);
                     assert_eq!(plan.end_position(), *step_trace.positions.last().unwrap());
+                    // The recorded trajectory is the same walk as SoA:
+                    // per-round positions and cumulative traversals.
+                    let trajectory = plan.trajectory();
+                    assert_eq!(trajectory.steps(), rounds);
+                    let step_positions: Vec<u32> = step_trace
+                        .positions
+                        .iter()
+                        .map(|n| n.index() as u32)
+                        .collect();
+                    assert_eq!(trajectory.positions(), &step_positions[..]);
+                    assert_eq!(trajectory.moves_through(rounds), step_trace.cost());
+                    for (r, action) in step_trace.actions.iter().enumerate() {
+                        assert_eq!(trajectory.moved_in(r as u64 + 1), action.is_move());
+                    }
                     // Past the end, the plan idles forever like an
                     // exhausted schedule.
                     let mut tail = plan.behavior();

@@ -1,0 +1,192 @@
+//! The delay-batched piece executor: one trajectory solve per (labels,
+//! starts) group instead of one simulation per scenario.
+//!
+//! A pair grid revisits each (label pair, start pair) once per delay
+//! value, and post-PR-5 both agents' walks are precomputed [`FlatPlan`]
+//! position arrays — so the whole delay axis of a group collapses into
+//! one [`BatchSolver`] pass over two fixed arrays (O(T + D) instead of
+//! the stepped engine's O(D·T)). [`BatchExecutor`] performs exactly that
+//! regrouping **inside** a work piece: scenarios are bucketed by
+//! `(labels, starts, horizon)`, each bucket is solved batched, and every
+//! outcome is written back at its original in-piece index, so the fold —
+//! and with it `SweepReport`s, witnesses and the shard ledger — is
+//! byte-identical to the stepped engine's.
+//!
+//! Scenarios the solver's preconditions don't cover (fleets, equal or
+//! out-of-range starts, a delayed *first* agent, a disconnected graph)
+//! fall back to the wrapped [`AlgorithmExecutor`] one by one, which keeps
+//! error behavior — `StartsNotDistinct`, `NotConnected`, bad labels —
+//! identical too. The stepped engine thus stays in the loop as the
+//! equivalence oracle; see `tests/batch_equivalence.rs`.
+
+use crate::executor::{AlgorithmExecutor, Executor, RunnerError};
+use crate::scenario::{Scenario, ScenarioOutcome};
+use crate::workload::{PieceExecutor, WorkPiece};
+use crate::{Bounds, Runner};
+use rendezvous_core::RendezvousAlgorithm;
+use rendezvous_graph::{analysis, NodeId};
+use rendezvous_sim::BatchSolver;
+use std::collections::HashMap;
+
+/// A work unit of one piece: either a delay-batched group (in-piece
+/// scenario indices sharing labels, starts and horizon) or a single
+/// stepped-fallback scenario.
+enum Job {
+    Batched(Vec<usize>),
+    Stepped(usize),
+}
+
+/// Piece executor that solves the delay axis of a pair sweep in batch.
+///
+/// Wraps an [`AlgorithmExecutor`] (sharing its schedule/plan caches with
+/// the fallback path) and carries the sweep's [`Bounds`] itself, playing
+/// the role [`Bounded`](crate::Bounded) plays for stepped executors.
+pub struct BatchExecutor<'a> {
+    algorithm: &'a dyn RendezvousAlgorithm,
+    inner: AlgorithmExecutor<'a>,
+    bounds: Option<Bounds>,
+    connected: bool,
+}
+
+impl<'a> BatchExecutor<'a> {
+    /// Wraps `algorithm` with no sweep bounds attached.
+    #[must_use]
+    pub fn new(algorithm: &'a dyn RendezvousAlgorithm) -> Self {
+        BatchExecutor {
+            algorithm,
+            inner: AlgorithmExecutor::new(algorithm),
+            bounds: None,
+            // The stepped engine re-checks connectivity every run; check
+            // once here and route everything stepped if it fails, so the
+            // error surfaces identically.
+            connected: analysis::is_connected(algorithm.graph()),
+        }
+    }
+
+    /// Attaches the bounds every outcome of this executor's pieces is
+    /// judged against.
+    #[must_use]
+    pub fn with_bounds(mut self, bounds: Option<Bounds>) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Returns `true` if `scenario` satisfies the batched solver's
+    /// preconditions; anything else goes through the stepped fallback so
+    /// outcomes *and errors* match the stepped engine exactly.
+    fn batchable(&self, scenario: &Scenario) -> bool {
+        let graph = self.algorithm.graph();
+        self.connected
+            && scenario.is_pair()
+            && scenario.first().delay == 0
+            && scenario.start_a() != scenario.start_b()
+            && graph.contains(scenario.start_a())
+            && graph.contains(scenario.start_b())
+    }
+
+    /// Solves one batched group: both plans are compiled (or fetched from
+    /// the shared cache) once, then every delay is one solver call.
+    /// Returns `(in-piece index, outcome)` pairs, or the group's error
+    /// tagged with its lowest index.
+    fn solve_group(
+        &self,
+        scenarios: &[Scenario],
+        indices: &[usize],
+    ) -> Result<Vec<(usize, ScenarioOutcome)>, (usize, RunnerError)> {
+        let lead = &scenarios[indices[0]];
+        let plan_a = self
+            .inner
+            .plan(lead.first_label(), lead.start_a())
+            .map_err(|e| (indices[0], e))?;
+        let plan_b = self
+            .inner
+            .plan(lead.second_label(), lead.start_b())
+            .map_err(|e| (indices[0], e))?;
+        let solver = BatchSolver::new(plan_a.trajectory(), plan_b.trajectory(), lead.horizon);
+        Ok(indices
+            .iter()
+            .map(|&i| {
+                let scenario = &scenarios[i];
+                let out = solver.solve(scenario.delay());
+                // With an undelayed first agent the meeting round *is*
+                // the paper's time (counted from the earlier wake-up).
+                let outcome =
+                    ScenarioOutcome::pairwise(scenario.clone(), out.round, out.cost, out.crossings);
+                (i, outcome)
+            })
+            .collect())
+    }
+}
+
+impl PieceExecutor for BatchExecutor<'_> {
+    fn run_piece(
+        &self,
+        runner: &Runner,
+        piece: &WorkPiece<'_>,
+    ) -> Result<(Vec<ScenarioOutcome>, Option<Bounds>), RunnerError> {
+        let scenarios = &piece.scenarios;
+        // Bucket batchable scenarios by (labels, starts, horizon) in
+        // first-appearance order; everything else runs stepped.
+        let mut slots: HashMap<(u64, u64, NodeId, NodeId, u64), usize> = HashMap::new();
+        let mut jobs: Vec<Job> = Vec::new();
+        for (i, scenario) in scenarios.iter().enumerate() {
+            if self.batchable(scenario) {
+                let key = (
+                    scenario.first_label(),
+                    scenario.second_label(),
+                    scenario.start_a(),
+                    scenario.start_b(),
+                    scenario.horizon,
+                );
+                match slots.get(&key) {
+                    Some(&slot) => match &mut jobs[slot] {
+                        Job::Batched(group) => group.push(i),
+                        Job::Stepped(_) => unreachable!("slots point at batched jobs"),
+                    },
+                    None => {
+                        slots.insert(key, jobs.len());
+                        jobs.push(Job::Batched(vec![i]));
+                    }
+                }
+            } else {
+                jobs.push(Job::Stepped(i));
+            }
+        }
+        // One group (or one fallback scenario) per parallel task: the
+        // runner spreads the piece's groups across its threads.
+        let results = runner.map(jobs, |_, job| match job {
+            Job::Batched(indices) => self.solve_group(scenarios, &indices),
+            Job::Stepped(i) => self
+                .inner
+                .run(&scenarios[i])
+                .map(|o| vec![(i, o)])
+                .map_err(|e| (i, e)),
+        });
+        // Scatter outcomes back to their original indices; on failure
+        // surface the lowest-index error, like the sequential fold would.
+        let mut outcomes: Vec<Option<ScenarioOutcome>> = vec![None; scenarios.len()];
+        let mut first_error: Option<(usize, RunnerError)> = None;
+        for result in results {
+            match result {
+                Ok(solved) => {
+                    for (i, outcome) in solved {
+                        outcomes[i] = Some(outcome);
+                    }
+                }
+                Err((i, e)) => {
+                    if first_error.as_ref().is_none_or(|(j, _)| i < *j) {
+                        first_error = Some((i, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_error {
+            return Err(e);
+        }
+        let outcomes = outcomes
+            .into_iter()
+            .map(|o| o.expect("every scenario belongs to exactly one job"))
+            .collect();
+        Ok((outcomes, self.bounds))
+    }
+}

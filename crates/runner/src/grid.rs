@@ -228,9 +228,15 @@ impl Grid {
     /// Sets the wake-up delays applied to the second agent (default
     /// `[0]`). In fleet mode the same axis supplies the delay *phases*
     /// fed to the [`FleetRule`]'s stagger.
+    ///
+    /// The axis is sorted and deduplicated: a repeated delay is the same
+    /// adversary choice, and enumeration order (hence witness tie-breaks)
+    /// should not depend on how the caller happened to list the values.
     #[must_use]
     pub fn delays(mut self, delays: &[u64]) -> Self {
         self.delays = delays.to_vec();
+        self.delays.sort_unstable();
+        self.delays.dedup();
         self
     }
 
@@ -510,6 +516,23 @@ mod tests {
     fn cap_larger_than_space_is_a_no_op() {
         let grid = small_grid().sample_cap(1_000);
         assert_eq!(grid.scenarios().len(), 48);
+    }
+
+    #[test]
+    fn delays_are_sorted_and_deduplicated() {
+        let g = generators::oriented_ring(4).unwrap();
+        let messy = Grid::new(100)
+            .label_pairs_both_orders(&[(1, 2)])
+            .delays(&[3, 0, 3, 7, 0, 7, 7])
+            .all_start_pairs(&g);
+        let clean = Grid::new(100)
+            .label_pairs_both_orders(&[(1, 2)])
+            .delays(&[0, 3, 7])
+            .all_start_pairs(&g);
+        // Same index space, same enumeration order — a repeated delay is
+        // the same adversary choice, not extra scenarios.
+        assert_eq!(messy.full_size(), clean.full_size());
+        assert_eq!(messy.scenarios(), clean.scenarios());
     }
 
     #[test]

@@ -69,6 +69,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod executor;
 mod grid;
 mod report;
@@ -77,6 +78,7 @@ mod scenario;
 mod topo;
 mod workload;
 
+pub use batch::BatchExecutor;
 pub use executor::{AlgorithmExecutor, Executor, FactoryExecutor, GatheringExecutor, RunnerError};
 pub use grid::{FleetRule, Grid};
 pub use report::{fold_outcomes, Bounds, GroupStats, SweepReport, Witness};

@@ -1,0 +1,544 @@
+//! The delay-batched solver: rendezvous outcomes for **every** wake-up
+//! delay of one (trajectory, trajectory) pair in a single pass.
+//!
+//! A deterministic agent's whole walk is a fixed position array (a
+//! [`Trajectory`], exported by `FlatPlan` in `rendezvous-core`). For a
+//! fixed pair of trajectories on a fixed graph, the stepped engine's
+//! round loop reduces to offset-shifted array comparisons: delaying the
+//! second agent by `d` rounds shifts its position array `d` places to the
+//! right, and the meeting round is the first index where the shifted
+//! arrays agree. [`BatchSolver`] resolves meeting round, meeting node,
+//! cost and edge crossings for each delay from the two arrays alone —
+//! O(T + D) for a D-delay sweep instead of the engine's O(D·T) — with
+//! semantics equal to [`Simulation`](crate::Simulation) by definition:
+//!
+//! * both agents occupy their starts from round 0; the second wakes in
+//!   round `d + 1`, so its position at the end of round `r` is
+//!   `positions[r − d]` (clamped to the array: asleep at `[0]`, idle at
+//!   the end after exhaustion);
+//! * rendezvous ⇔ equal positions at the end of a round — the first `r`
+//!   with `posᴬ(r) = posᴮ(r − d)`;
+//! * a crossing is a round where both moved and swapped nodes; it is
+//!   counted, never a meeting;
+//! * cost is both agents' edge traversals up to the meeting round (or the
+//!   horizon).
+//!
+//! Two structural shortcuts carry the speedup. Once the second agent's
+//! array is exhausted (or not yet started) its position is a constant, so
+//! the scan windows clamp to O(T) total work; and if the first agent
+//! visits the second's start node at round `f`, every delay `d ≥ f` has
+//! the **same** O(1) outcome — the sleeper is found at round `f` — which
+//! is the paper's `τ > E` observation (Propositions 2.1/2.2) turned into
+//! code. The inner comparisons scan in 8-lane word chunks over dense
+//! `u32` position arrays so the compiler can vectorize them.
+
+/// One agent's precomputed walk as a structure of arrays: the node index
+/// occupied after each round plus a running count of edge traversals.
+///
+/// `positions[r]` is the node at the end of round `r` of the walk's own
+/// clock (`positions[0]` is the start); `prefix_moves[r]` counts the
+/// traversals among the first `r` steps, so any cost window is a
+/// subtraction and "moved in round `r`" is a prefix difference — no
+/// separate action array needed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trajectory {
+    positions: Vec<u32>,
+    prefix_moves: Vec<u32>,
+}
+
+impl Trajectory {
+    /// An empty trajectory standing at `start` (node index) forever.
+    #[must_use]
+    pub fn new(start: u32) -> Self {
+        Trajectory {
+            positions: vec![start],
+            prefix_moves: vec![0],
+        }
+    }
+
+    /// Appends one round: the position at the end of the round and
+    /// whether the round traversed an edge.
+    pub fn push(&mut self, position: u32, moved: bool) {
+        let moves = self.prefix_moves.last().copied().unwrap_or(0) + u32::from(moved);
+        self.positions.push(position);
+        self.prefix_moves.push(moves);
+    }
+
+    /// Number of recorded rounds `T` (the walk idles at its end position
+    /// afterwards).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        (self.positions.len() - 1) as u64
+    }
+
+    /// The start node index (`positions[0]`).
+    #[must_use]
+    pub fn start(&self) -> u32 {
+        self.positions[0]
+    }
+
+    /// The node index occupied once the walk is exhausted.
+    #[must_use]
+    pub fn end(&self) -> u32 {
+        *self.positions.last().expect("at least the start")
+    }
+
+    /// The node index at the end of round `round` of the walk's own
+    /// clock, clamped: past the end the agent idles at [`Trajectory::end`].
+    #[must_use]
+    pub fn position_at(&self, round: u64) -> u32 {
+        self.positions[usize::try_from(round.min(self.steps())).expect("clamped to length")]
+    }
+
+    /// Edge traversals in rounds `1..=round` of the walk's own clock
+    /// (clamped past the end — idling is free).
+    #[must_use]
+    pub fn moves_through(&self, round: u64) -> u64 {
+        u64::from(self.prefix_moves[usize::try_from(round.min(self.steps())).expect("clamped")])
+    }
+
+    /// Returns `true` if round `round` (1-based, on the walk's own
+    /// clock) traversed an edge; rounds past the end never move.
+    #[must_use]
+    pub fn moved_in(&self, round: u64) -> bool {
+        round >= 1 && round <= self.steps() && {
+            let r = usize::try_from(round).expect("within length");
+            self.prefix_moves[r] > self.prefix_moves[r - 1]
+        }
+    }
+
+    /// The dense position array (`positions[r]` = node after round `r`).
+    #[must_use]
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+}
+
+/// Comparison lanes per scan chunk: equality over fixed 8-wide `u32`
+/// windows compiles to vector compares with a movemask-style reduction.
+const LANES: usize = 8;
+
+/// Index of the first equal pair of two equal-length slices.
+fn first_equal(a: &[u32], b: &[u32]) -> Option<usize> {
+    debug_assert_eq!(a.len(), b.len());
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        let mut mask: u32 = 0;
+        for lane in 0..LANES {
+            mask |= u32::from(a[base + lane] == b[base + lane]) << lane;
+        }
+        if mask != 0 {
+            return Some(base + mask.trailing_zeros() as usize);
+        }
+    }
+    (chunks * LANES..a.len()).find(|&i| a[i] == b[i])
+}
+
+/// Index of the first element of `a` equal to the constant `v`.
+fn first_equal_to(a: &[u32], v: u32) -> Option<usize> {
+    let chunks = a.len() / LANES;
+    for c in 0..chunks {
+        let base = c * LANES;
+        let mut mask: u32 = 0;
+        for lane in 0..LANES {
+            mask |= u32::from(a[base + lane] == v) << lane;
+        }
+        if mask != 0 {
+            return Some(base + mask.trailing_zeros() as usize);
+        }
+    }
+    (chunks * LANES..a.len()).find(|&i| a[i] == v)
+}
+
+/// What one delay's execution would have measured: the fields of the
+/// engine's [`Outcome`](crate::Outcome) that a pair sweep folds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayOutcome {
+    /// Global round (1-based) at whose end the agents met, `None` if they
+    /// did not within the horizon. With an undelayed first agent this is
+    /// exactly the paper's **time**.
+    pub round: Option<u64>,
+    /// Node index where they met.
+    pub node: Option<u32>,
+    /// Total edge traversals of both agents up to the meeting round (or
+    /// the horizon).
+    pub cost: u64,
+    /// Rounds in which the agents crossed inside an edge (both moved and
+    /// swapped nodes — never a meeting).
+    pub crossings: u64,
+}
+
+/// Solves one (first trajectory, second trajectory, horizon) pair for
+/// any number of second-agent delays, each in (amortized) O(T/D + 1).
+///
+/// The first agent wakes in round 1 and follows `a`; the second sleeps
+/// through `delay` rounds at `b.start()` and then follows `b`. Equal to
+/// running [`Simulation`](crate::Simulation) with the same two walks —
+/// the equivalence tests below and the byte-identical experiment outputs
+/// of the `--engine batched` pipeline rest on this.
+#[derive(Debug)]
+pub struct BatchSolver<'a> {
+    a: &'a Trajectory,
+    b: &'a Trajectory,
+    horizon: u64,
+    /// First round `1..=min(Tᴬ, horizon)` in which the first agent stands
+    /// on the second's start node: every `delay ≥ first_visit` meets
+    /// there, at that round, with the second agent still asleep.
+    first_visit: Option<u64>,
+}
+
+impl<'a> BatchSolver<'a> {
+    /// Prepares the solver for one trajectory pair under `horizon`.
+    #[must_use]
+    pub fn new(a: &'a Trajectory, b: &'a Trajectory, horizon: u64) -> Self {
+        let upper = usize::try_from(a.steps().min(horizon)).expect("trajectory length fits");
+        let first_visit =
+            first_equal_to(&a.positions()[1..=upper], b.start()).map(|k| k as u64 + 1);
+        BatchSolver {
+            a,
+            b,
+            horizon,
+            first_visit,
+        }
+    }
+
+    /// The precomputed sleeping-partner round, if any (`first_visit`).
+    #[must_use]
+    pub fn first_visit(&self) -> Option<u64> {
+        self.first_visit
+    }
+
+    /// The outcome of the execution in which the second agent sleeps
+    /// through `delay` rounds.
+    #[must_use]
+    pub fn solve(&self, delay: u64) -> DelayOutcome {
+        let h = self.horizon;
+        // Sleeping partner: the first agent reaches the second's start
+        // before it wakes — constant outcome for every such delay.
+        if let Some(f) = self.first_visit {
+            if delay >= f {
+                return DelayOutcome {
+                    round: Some(f),
+                    node: Some(self.b.start()),
+                    cost: self.a.moves_through(f),
+                    crossings: 0,
+                };
+            }
+        }
+        // The second agent never wakes within the horizon (and the first
+        // never finds it asleep, or the shortcut above would have fired).
+        if delay >= h {
+            return DelayOutcome {
+                round: None,
+                node: None,
+                cost: self.a.moves_through(h),
+                crossings: 0,
+            };
+        }
+        let ta = self.a.steps();
+        let bd = self.b.steps().saturating_add(delay);
+        // No meeting can happen in rounds 1..=delay (that would be a
+        // first-visit), and past round max(Tᴬ, Tᴮ + delay) both walks are
+        // exhausted and the configuration is frozen.
+        let lo = delay + 1;
+        let rmax = h.min(ta.max(bd));
+        let ap = self.a.positions();
+        let bp = self.b.positions();
+        let mut meeting: Option<u64> = None;
+        // Both walks live: positions[r] against positions[r − delay].
+        let live_hi = rmax.min(ta).min(bd);
+        if lo <= live_hi {
+            let len = usize::try_from(live_hi - lo + 1).expect("window fits");
+            let ao = usize::try_from(lo).expect("round fits");
+            let bo = usize::try_from(lo - delay).expect("round fits");
+            meeting = first_equal(&ap[ao..ao + len], &bp[bo..bo + len]).map(|k| lo + k as u64);
+        }
+        // Second exhausted first: scan the first's tail against the
+        // second's frozen end position (or vice versa). At most one of
+        // these windows is non-empty.
+        if meeting.is_none() && bd < rmax.min(ta) {
+            let from = lo.max(bd + 1);
+            let hi = rmax.min(ta);
+            let len = usize::try_from(hi - from + 1).expect("window fits");
+            let off = usize::try_from(from).expect("round fits");
+            meeting = first_equal_to(&ap[off..off + len], self.b.end()).map(|k| from + k as u64);
+        }
+        if meeting.is_none() && ta < rmax.min(bd) {
+            let from = lo.max(ta + 1);
+            let hi = rmax.min(bd);
+            let len = usize::try_from(hi - from + 1).expect("window fits");
+            let off = usize::try_from(from - delay).expect("round fits");
+            meeting = first_equal_to(&bp[off..off + len], self.a.end()).map(|k| from + k as u64);
+        }
+        let crossings = self.crossings_through(delay, meeting.unwrap_or(h));
+        match meeting {
+            Some(m) => DelayOutcome {
+                round: Some(m),
+                node: Some(self.a.position_at(m)),
+                cost: self.a.moves_through(m) + self.b.moves_through(m - delay),
+                crossings,
+            },
+            None => DelayOutcome {
+                round: None,
+                node: None,
+                cost: self.a.moves_through(h) + self.b.moves_through(h - delay),
+                crossings,
+            },
+        }
+    }
+
+    /// Crossings in rounds `delay + 1 ..= end` (the engine counts the
+    /// meeting round too, before its meeting check): both agents moved
+    /// and swapped nodes. Rounds where either walk is exhausted cannot
+    /// cross, so the window clamps to both arrays.
+    fn crossings_through(&self, delay: u64, end: u64) -> u64 {
+        let hi = end
+            .min(self.a.steps())
+            .min(self.b.steps().saturating_add(delay));
+        let ap = self.a.positions();
+        let bp = self.b.positions();
+        let mut crossings = 0;
+        for r in delay + 1..=hi {
+            let i = usize::try_from(r).expect("round fits");
+            let j = usize::try_from(r - delay).expect("round fits");
+            if self.a.moved_in(r)
+                && self.b.moved_in(r - delay)
+                && ap[i] == bp[j - 1]
+                && ap[i - 1] == bp[j]
+            {
+                crossings += 1;
+            }
+        }
+        crossings
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_solo, Action, AgentBehavior, AgentSpec, MeetingCondition, Simulation};
+    use rendezvous_graph::{generators, NodeId, Port, PortLabeledGraph};
+
+    /// Replays a recorded solo walk — the scripted oracle counterpart of
+    /// the trajectories under test.
+    struct Replay {
+        ports: Vec<Option<Port>>,
+        cursor: usize,
+    }
+
+    impl AgentBehavior for Replay {
+        fn next_action(&mut self, _o: crate::Observation) -> Action {
+            let action = match self.ports.get(self.cursor) {
+                Some(Some(p)) => Action::Move(*p),
+                _ => Action::Stay,
+            };
+            self.cursor += 1;
+            action
+        }
+    }
+
+    /// Builds the trajectory of a port script from `start` by running it
+    /// solo, so trajectory and oracle walk are the same by construction.
+    fn trajectory_of(g: &PortLabeledGraph, start: NodeId, ports: &[Option<Port>]) -> Trajectory {
+        let mut walker = Replay {
+            ports: ports.to_vec(),
+            cursor: 0,
+        };
+        let trace = run_solo(g, &mut walker, start, ports.len() as u64).unwrap();
+        let mut t = Trajectory::new(trace.positions[0].index() as u32);
+        for (r, a) in trace.actions.iter().enumerate() {
+            t.push(trace.positions[r + 1].index() as u32, a.is_move());
+        }
+        t
+    }
+
+    /// Exhaustive oracle: for every delay in `0..=max_delay`, the solver
+    /// must agree with the stepped engine on meeting round, meeting node,
+    /// cost and crossings.
+    fn assert_matches_engine(
+        g: &PortLabeledGraph,
+        start_a: NodeId,
+        ports_a: &[Option<Port>],
+        start_b: NodeId,
+        ports_b: &[Option<Port>],
+        horizon: u64,
+        max_delay: u64,
+    ) {
+        let ta = trajectory_of(g, start_a, ports_a);
+        let tb = trajectory_of(g, start_b, ports_b);
+        let solver = BatchSolver::new(&ta, &tb, horizon);
+        for delay in 0..=max_delay {
+            let engine = Simulation::new(g)
+                .agent(
+                    Box::new(Replay {
+                        ports: ports_a.to_vec(),
+                        cursor: 0,
+                    }),
+                    AgentSpec::immediate(start_a),
+                )
+                .agent(
+                    Box::new(Replay {
+                        ports: ports_b.to_vec(),
+                        cursor: 0,
+                    }),
+                    AgentSpec::delayed(start_b, delay),
+                )
+                .max_rounds(horizon)
+                .meeting_condition(MeetingCondition::FirstPair)
+                .run()
+                .unwrap();
+            let batched = solver.solve(delay);
+            assert_eq!(
+                batched.round,
+                engine.meeting().map(|m| m.round),
+                "meeting round diverged at delay {delay}"
+            );
+            assert_eq!(
+                batched.node,
+                engine.meeting().map(|m| m.node.index() as u32),
+                "meeting node diverged at delay {delay}"
+            );
+            assert_eq!(
+                batched.cost,
+                engine.cost(),
+                "cost diverged at delay {delay}"
+            );
+            assert_eq!(
+                batched.crossings,
+                engine.crossings(),
+                "crossings diverged at delay {delay}"
+            );
+        }
+    }
+
+    fn cw(steps: usize) -> Vec<Option<Port>> {
+        vec![Some(Port::new(0)); steps]
+    }
+
+    fn ccw(steps: usize) -> Vec<Option<Port>> {
+        vec![Some(Port::new(1)); steps]
+    }
+
+    #[test]
+    fn walker_vs_sitter_matches_engine_for_all_delays() {
+        let g = generators::oriented_ring(7).unwrap();
+        // Sitter: delays beyond the first visit all hit the O(1) path.
+        assert_matches_engine(&g, NodeId::new(0), &cw(6), NodeId::new(4), &[], 40, 45);
+    }
+
+    #[test]
+    fn opposing_walkers_match_engine_including_crossings() {
+        let g = generators::oriented_ring(6).unwrap();
+        // cw vs ccw from adjacent nodes: crossings guaranteed.
+        assert_matches_engine(
+            &g,
+            NodeId::new(0),
+            &cw(12),
+            NodeId::new(1),
+            &ccw(12),
+            30,
+            32,
+        );
+        // And from opposite nodes, where they meet head-on.
+        assert_matches_engine(
+            &g,
+            NodeId::new(0),
+            &cw(12),
+            NodeId::new(3),
+            &ccw(12),
+            30,
+            32,
+        );
+    }
+
+    #[test]
+    fn stop_and_go_scripts_match_engine() {
+        let g = generators::oriented_ring(8).unwrap();
+        // Irregular scripts: moves interleaved with stays, different
+        // lengths, so every clamping window gets exercised.
+        let a: Vec<Option<Port>> = vec![
+            Some(Port::new(0)),
+            None,
+            Some(Port::new(0)),
+            Some(Port::new(0)),
+            None,
+            None,
+            Some(Port::new(1)),
+            Some(Port::new(0)),
+            Some(Port::new(0)),
+        ];
+        let b: Vec<Option<Port>> = vec![
+            None,
+            Some(Port::new(1)),
+            None,
+            Some(Port::new(1)),
+            Some(Port::new(1)),
+        ];
+        assert_matches_engine(&g, NodeId::new(2), &a, NodeId::new(6), &b, 25, 30);
+    }
+
+    #[test]
+    fn delays_past_the_horizon_freeze_the_second_agent() {
+        let g = generators::oriented_ring(5).unwrap();
+        // Horizon tighter than both scripts, delays far beyond it.
+        assert_matches_engine(&g, NodeId::new(0), &cw(3), NodeId::new(3), &ccw(9), 4, 12);
+    }
+
+    #[test]
+    fn zero_horizon_executes_nothing() {
+        let g = generators::oriented_ring(4).unwrap();
+        let ta = trajectory_of(&g, NodeId::new(0), &cw(3));
+        let tb = trajectory_of(&g, NodeId::new(2), &cw(3));
+        let solver = BatchSolver::new(&ta, &tb, 0);
+        for delay in [0, 1, 7] {
+            let out = solver.solve(delay);
+            assert_eq!(out.round, None);
+            assert_eq!(out.cost, 0);
+            assert_eq!(out.crossings, 0);
+        }
+    }
+
+    #[test]
+    fn trajectory_accounting() {
+        let g = generators::oriented_ring(5).unwrap();
+        let t = trajectory_of(
+            &g,
+            NodeId::new(1),
+            &[Some(Port::new(0)), None, Some(Port::new(0))],
+        );
+        assert_eq!(t.steps(), 3);
+        assert_eq!(t.start(), 1);
+        assert_eq!(t.end(), 3);
+        assert_eq!(t.positions(), &[1, 2, 2, 3]);
+        assert_eq!(t.moves_through(0), 0);
+        assert_eq!(t.moves_through(2), 1);
+        assert_eq!(t.moves_through(99), 2, "clamped past the end");
+        assert!(t.moved_in(1) && !t.moved_in(2) && t.moved_in(3));
+        assert!(!t.moved_in(0) && !t.moved_in(4));
+        assert_eq!(t.position_at(2), 2);
+        assert_eq!(t.position_at(50), 3, "idles at the end");
+    }
+
+    #[test]
+    fn word_scan_agrees_with_the_naive_scan() {
+        // Lengths around the 8-lane chunk boundary, match positions in
+        // every lane, plus the no-match case.
+        for len in 0..20usize {
+            for hit in 0..=len {
+                let a: Vec<u32> = (0..len as u32).collect();
+                let mut b: Vec<u32> = (100..100 + len as u32).collect();
+                if hit < len {
+                    b[hit] = hit as u32;
+                }
+                let expected = (hit < len).then_some(hit);
+                assert_eq!(first_equal(&a, &b), expected, "len {len}, hit {hit}");
+                let mut c = vec![77u32; len];
+                if hit < len {
+                    c[hit] = 5;
+                }
+                assert_eq!(first_equal_to(&c, 5), expected, "len {len}, hit {hit}");
+            }
+        }
+    }
+}

@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batch;
 mod behavior;
 mod engine;
 mod error;
@@ -43,6 +44,7 @@ pub mod gathering;
 pub mod render;
 mod solo;
 
+pub use batch::{BatchSolver, DelayOutcome, Trajectory};
 pub use behavior::{Action, AgentBehavior, IdleAgent, Observation, ScriptedAgent};
 pub use engine::{AgentSpec, Meeting, MeetingCondition, Outcome, Simulation, Trace};
 pub use error::SimError;

@@ -8,11 +8,22 @@
 //! change on the same machine.
 
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Re-export matching `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
+}
+
+/// Every `(name, median ns/iter)` reported so far, in run order, so a
+/// bench binary can persist its measurements machine-readably (an
+/// extension over upstream criterion's file-based reports).
+static RESULTS: Mutex<Vec<(String, u128)>> = Mutex::new(Vec::new());
+
+/// Drains the recorded `(name, median ns/iter)` pairs, in run order.
+pub fn take_results() -> Vec<(String, u128)> {
+    std::mem::take(&mut *RESULTS.lock().expect("bench results poisoned"))
 }
 
 /// How `iter_batched` amortizes setup cost (accepted, not interpreted).
@@ -103,6 +114,10 @@ impl Bencher {
         let median = self.samples[self.samples.len() / 2];
         let min = self.samples[0];
         let max = *self.samples.last().expect("non-empty");
+        RESULTS
+            .lock()
+            .expect("bench results poisoned")
+            .push((name.to_string(), median.as_nanos()));
         println!(
             "{name}: median {} (min {}, max {}, {} samples)",
             fmt_duration(median),
@@ -173,6 +188,12 @@ mod tests {
     fn harness_runs_and_reports() {
         let mut c = Criterion::default().sample_size(5);
         tiny(&mut c);
+        // Reported medians are recorded for machine-readable export.
+        // (Other tests may interleave entries; only containment of this
+        // run's names is guaranteed.)
+        let names: Vec<String> = take_results().into_iter().map(|(n, _)| n).collect();
+        assert!(names.iter().any(|n| n == "tiny/sum"));
+        assert!(names.iter().any(|n| n == "tiny/batched"));
     }
 
     criterion_group! {
