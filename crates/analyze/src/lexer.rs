@@ -1,0 +1,381 @@
+//! A minimal hand-rolled Rust lexer — just enough structure for the
+//! determinism rules to match on.
+//!
+//! The container has no crates.io access (consistent with the vendored
+//! dependency policy), so instead of `syn` the analyzer lexes source
+//! into a flat token stream: identifiers (keywords included), numeric
+//! and string/char literals, lifetimes, and single-character
+//! punctuation. Line numbers are tracked per token, comments are
+//! captured separately (line comments carry the `analyze: allow(...)`
+//! suppression syntax), and everything inside string literals is
+//! opaque — so a rule keyword appearing in a diagnostic message can
+//! never produce a finding.
+
+/// What a token is; rules match on identifiers and punctuation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`HashMap`, `as`, `use`, …).
+    Ident(String),
+    /// A numeric literal (`42`, `0x1F`, `1.5e-3`, `1_000u64`).
+    Number,
+    /// A string, raw-string, byte-string or char literal — contents
+    /// deliberately opaque.
+    Literal,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// One punctuation character (`::` arrives as two `:`).
+    Punct(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind (and text, for identifiers).
+    pub kind: TokenKind,
+    /// 1-based line the token starts on.
+    pub line: usize,
+}
+
+impl Token {
+    /// The identifier text, if this token is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this token is the punctuation character `c`.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct(c)
+    }
+}
+
+/// One `//` line comment (text without the slashes, trimmed) — block
+/// comments are skipped entirely, so suppression annotations must be
+/// line comments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Trimmed comment text, `//` stripped (doc-comment `/`/`!` kept).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+}
+
+/// The lexed view of one source file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// All code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// All line comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Lexes Rust source. Unterminated literals are tolerated (the rest of
+/// the file becomes one opaque literal) — the analyzer must never panic
+/// on weird input, only under-report.
+#[must_use]
+pub fn lex(source: &str) -> Lexed {
+    let chars: Vec<char> = source.chars().collect();
+    let mut out = Lexed::default();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < chars.len() && chars[end] != '\n' {
+                    end += 1;
+                }
+                out.comments.push(Comment {
+                    text: chars[start..end].iter().collect::<String>().trim().into(),
+                    line,
+                });
+                i = end;
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                // Block comment; Rust block comments nest.
+                let mut depth = 1usize;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                });
+            }
+            'r' | 'b' if starts_raw_or_byte_literal(&chars, i) => {
+                let tok_line = line;
+                i = skip_prefixed_literal(&chars, i, &mut line);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                let next = chars.get(i + 1).copied();
+                let after = chars.get(i + 2).copied();
+                let is_lifetime =
+                    matches!(next, Some(n) if n.is_alphabetic() || n == '_') && after != Some('\'');
+                if is_lifetime {
+                    let mut end = i + 1;
+                    while end < chars.len() && (chars[end].is_alphanumeric() || chars[end] == '_') {
+                        end += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let tok_line = line;
+                    i = skip_char_literal(&chars, i, &mut line);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line: tok_line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i + 1;
+                while end < chars.len() {
+                    let d = chars[end];
+                    if d.is_alphanumeric() || d == '_' {
+                        end += 1;
+                    } else if d == '.'
+                        && chars.get(end + 1).is_some_and(|n| n.is_ascii_digit())
+                        && chars.get(end.wrapping_sub(1)) != Some(&'.')
+                    {
+                        // `1.5` continues the number; `0..n` does not.
+                        end += 1;
+                    } else if (d == '+' || d == '-')
+                        && matches!(chars.get(end.wrapping_sub(1)), Some('e' | 'E'))
+                        && chars.get(end + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
+                        // Exponent sign: `1e-3`.
+                        end += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut end = i + 1;
+                while end < chars.len() && (chars[end].is_alphanumeric() || chars[end] == '_') {
+                    end += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(chars[i..end].iter().collect()),
+                    line,
+                });
+                i = end;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Returns `true` if position `i` starts `r"`, `r#`, `b"`, `b'`, `br"`
+/// or `br#` — a raw/byte literal rather than an identifier.
+fn starts_raw_or_byte_literal(chars: &[char], i: usize) -> bool {
+    match chars[i] {
+        'r' => matches!(chars.get(i + 1), Some('"' | '#')),
+        'b' => match chars.get(i + 1) {
+            Some('"' | '\'') => true,
+            Some('r') => matches!(chars.get(i + 2), Some('"' | '#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a literal that starts with an `r`/`b`/`br` prefix at `i`;
+/// returns the index just past it.
+fn skip_prefixed_literal(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    if chars[i] == 'b' {
+        i += 1;
+    }
+    if i < chars.len() && chars[i] == '\'' {
+        return skip_char_literal(chars, i, line);
+    }
+    if i < chars.len() && chars[i] == 'r' {
+        i += 1;
+        let mut hashes = 0usize;
+        while i < chars.len() && chars[i] == '#' {
+            hashes += 1;
+            i += 1;
+        }
+        if i >= chars.len() || chars[i] != '"' {
+            return i; // `r#ident` raw identifier, not a string
+        }
+        i += 1;
+        while i < chars.len() {
+            if chars[i] == '\n' {
+                *line += 1;
+                i += 1;
+            } else if chars[i] == '"' && chars[i + 1..].iter().take(hashes).all(|&h| h == '#') {
+                return i + 1 + hashes;
+            } else {
+                i += 1;
+            }
+        }
+        return i;
+    }
+    skip_string(chars, i, line)
+}
+
+/// Skips a `"…"` string starting at `i` (which must be the opening
+/// quote); returns the index just past the closing quote.
+fn skip_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips a `'…'` char literal starting at `i` (the opening quote).
+fn skip_char_literal(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < chars.len() {
+        match chars[i] {
+            '\\' => i += 2,
+            '\n' => {
+                *line += 1;
+                i += 1;
+            }
+            '\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.ident().map(String::from))
+            .collect()
+    }
+
+    #[test]
+    fn idents_literals_and_lines() {
+        let l = lex("let x = 1;\nlet map = HashMap::new();\n");
+        assert_eq!(
+            idents("let x = 1;\nlet map = HashMap::new();"),
+            ["let", "x", "let", "map", "HashMap", "new"]
+        );
+        let hash = l.tokens.iter().find(|t| t.ident() == Some("HashMap"));
+        assert_eq!(hash.unwrap().line, 2);
+    }
+
+    #[test]
+    fn rule_keywords_inside_strings_are_opaque() {
+        let l = lex(r##"let msg = "HashMap iteration"; let raw = r#"f64 SystemTime"# ;"##);
+        assert!(l.tokens.iter().all(|t| t.ident() != Some("HashMap")));
+        assert!(l.tokens.iter().all(|t| t.ident() != Some("f64")));
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines_and_block_comments_skipped() {
+        let src = "fn f() {}\n// analyze: allow(d1) — why\n/* HashMap\nf64 */ let y = 0;";
+        let l = lex(src);
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].line, 2);
+        assert!(l.comments[0].text.starts_with("analyze: allow(d1)"));
+        assert!(l.tokens.iter().all(|t| t.ident() != Some("HashMap")));
+        // The token after the block comment is on line 4.
+        let y = l.tokens.iter().find(|t| t.ident() == Some("y")).unwrap();
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn lifetimes_and_char_literals_disambiguate() {
+        let l = lex("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            l.tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers_ranges_and_floats() {
+        let l = lex("for i in 0..10 { let f = 1.5e-3; let h = 0xFF_u64; }");
+        let numbers = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .count();
+        assert_eq!(numbers, 4, "0, 10, 1.5e-3, 0xFF_u64");
+        // The range `..` stays as two puncts.
+        assert!(l.tokens.iter().any(|t| t.is_punct('.')));
+    }
+}

@@ -1,0 +1,80 @@
+//! Findings and the machine-readable report — the committed JSON is the
+//! workspace's determinism audit baseline, so its serialization must be
+//! as stable as the sweep ledgers': findings sorted by (file, line,
+//! rule), every allowed finding carrying its written justification.
+
+use serde::{Deserialize, Serialize};
+
+/// One rule hit at one source line.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Finding {
+    /// `/`-separated path relative to the workspace root.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// Rule id: `D1`–`D5`, or `allow` for suppression-syntax hygiene
+    /// (bare or unused allows).
+    pub rule: String,
+    /// What the rule saw.
+    pub message: String,
+    /// `true` when an `// analyze: allow(…)` annotation covers the
+    /// finding. Allowed findings stay in the report — they *are* the
+    /// audit trail — but do not fail `--deny`.
+    pub allowed: bool,
+    /// The annotation's justification text, for allowed findings.
+    pub justification: Option<String>,
+}
+
+impl Finding {
+    /// The `file:line [rule] message` line the CLI prints.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{} [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The whole run: every finding (allowed or not), plus counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnalysisReport {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Total findings, allowed included.
+    pub total: usize,
+    /// Findings covered by a justified allow annotation.
+    pub allowed: usize,
+    /// Findings that fail `--deny`.
+    pub unsuppressed: usize,
+}
+
+impl AnalysisReport {
+    /// Builds the report from raw findings (sorts and counts).
+    #[must_use]
+    pub fn from_findings(mut findings: Vec<Finding>, files_scanned: usize) -> AnalysisReport {
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(
+                b.file.as_str(),
+                b.line,
+                b.rule.as_str(),
+            ))
+        });
+        let total = findings.len();
+        let allowed = findings.iter().filter(|f| f.allowed).count();
+        AnalysisReport {
+            unsuppressed: total - allowed,
+            findings,
+            files_scanned,
+            total,
+            allowed,
+        }
+    }
+
+    /// The findings that fail `--deny`.
+    pub fn unsuppressed_findings(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| !f.allowed)
+    }
+}

@@ -1,0 +1,15 @@
+//! Suppression fixture: a real D1 hazard carrying a justified allow —
+//! the finding stays in the report (allowed) but does not fail `--deny`.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    // analyze: allow(d1) — point lookups only; never iterated
+    entries: HashMap<u64, u64>,
+}
+
+impl Cache {
+    pub fn get(&self, k: u64) -> Option<u64> {
+        self.entries.get(&k).copied()
+    }
+}

@@ -1,0 +1,9 @@
+//! Allow-hygiene fixture: a bare allow with no justification. It does
+//! not suppress, and is itself an unsuppressed `allow` finding.
+
+use std::collections::HashMap;
+
+pub struct Cache {
+    // analyze: allow(d1)
+    entries: HashMap<u64, u64>,
+}

@@ -1,0 +1,17 @@
+//! D1 clean fixture: the post-PR-6 pattern — sorted, deduplicated
+//! delays, so the fold order is a function of the input alone.
+
+use std::collections::BTreeSet;
+
+pub fn fold_over_delays(delays: &[u64]) -> u64 {
+    let unique: BTreeSet<u64> = delays.iter().copied().collect();
+    let mut worst = 0;
+    for d in unique {
+        worst = worst.max(simulate(d));
+    }
+    worst
+}
+
+fn simulate(delay: u64) -> u64 {
+    delay * 2
+}

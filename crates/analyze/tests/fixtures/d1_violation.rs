@@ -1,0 +1,23 @@
+//! D1 violating fixture: the pre-PR-6 unsorted-delay pattern.
+//!
+//! Delays were deduplicated through a `HashSet` and folded in whatever
+//! order the hasher produced — two runs of the same sweep could visit
+//! delays in different orders, and any order-sensitive fold (first
+//! witness wins, running extrema with ties) diverged between shards.
+
+use std::collections::HashSet;
+
+pub fn fold_over_delays(delays: &[u64]) -> u64 {
+    let unique: HashSet<u64> = delays.iter().copied().collect();
+    let mut worst = 0;
+    for d in unique {
+        // Order-sensitive fold: ties resolve to whichever delay the
+        // hasher happened to yield first.
+        worst = worst.max(simulate(d));
+    }
+    worst
+}
+
+fn simulate(delay: u64) -> u64 {
+    delay * 2
+}

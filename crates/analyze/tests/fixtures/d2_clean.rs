@@ -1,0 +1,7 @@
+//! D2 clean fixture: the PR-2 fix — widen *before* the arithmetic so
+//! the product is exact, then narrow a value already proven in range.
+
+pub fn shard_start(i: usize, total: usize, cap: usize) -> u64 {
+    let wide = i as u128 * total as u128 / cap as u128;
+    u64::try_from(wide).expect("shard start fits u64 by construction")
+}

@@ -1,0 +1,10 @@
+//! D2 violating fixture: the PR-2 grid-stride wrap, reconstructed.
+//!
+//! `i * total` is computed in `usize` and only then truncated; once the
+//! grid crossed 2^32 cells on a 32-bit host (or 2^64 anywhere), the
+//! product wrapped and every shard silently re-walked the same prefix
+//! of the grid — byte-identical ledgers, identically wrong.
+
+pub fn shard_start(i: usize, total: usize, cap: usize) -> u64 {
+    (i * total / cap) as u64
+}

@@ -1,0 +1,7 @@
+//! D3 clean fixture: the exact cross-multiplication convention —
+//! `a/b > c/d  ⟺  a·d > c·b` with the products taken in `u128`, which
+//! cannot overflow for `u64` inputs and never rounds.
+
+pub fn better_witness(time_a: u64, runs_a: u64, time_b: u64, runs_b: u64) -> bool {
+    time_a as u128 * runs_b as u128 > time_b as u128 * runs_a as u128
+}

@@ -1,0 +1,10 @@
+//! D3 violating fixture: a float witness tie-break. `a/b > c/d` through
+//! `f64` rounds at 53 bits — two exactly-equal ratios can compare
+//! unequal (or vice versa) depending on magnitudes, and the chosen
+//! witness then differs between otherwise identical runs.
+
+pub fn better_witness(time_a: u64, runs_a: u64, time_b: u64, runs_b: u64) -> bool {
+    let mean_a = time_a as f64 / runs_a as f64;
+    let mean_b = time_b as f64 / runs_b as f64;
+    mean_a > mean_b
+}

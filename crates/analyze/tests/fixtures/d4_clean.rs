@@ -1,0 +1,7 @@
+//! D4 clean fixture: every run input is explicit — RNG seeded from a
+//! caller-supplied value, budget passed as a parameter, no clocks.
+
+pub fn deterministic_run(seed: u64, budget: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    budget + rng.next_u64()
+}

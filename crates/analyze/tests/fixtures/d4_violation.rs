@@ -1,0 +1,13 @@
+//! D4 violating fixture: three nondeterminism sources in one file —
+//! a wall clock outside the bench harness, an unseeded RNG, and a
+//! `std::env` read outside the CLI layer.
+
+pub fn entropy_soup() -> u64 {
+    let now = std::time::SystemTime::now();
+    let mut rng = thread_rng();
+    let budget: u64 = std::env::var("SWEEP_BUDGET")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    budget + rng.next_u64() + now.elapsed().map_or(0, |d| d.as_secs())
+}

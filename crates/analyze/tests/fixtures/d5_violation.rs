@@ -1,0 +1,18 @@
+//! D5 violating fixture: a hand-rolled parallel fold. Results merge in
+//! completion order — whichever worker finishes first folds first, so
+//! any order-sensitive reduction (first witness, tie-broken extrema)
+//! varies run to run even with identical inputs.
+
+pub fn parallel_fold(chunks: Vec<Vec<u64>>) -> u64 {
+    let mut worst = 0;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for chunk in &chunks {
+            handles.push(scope.spawn(move || chunk.iter().copied().max().unwrap_or(0)));
+        }
+        for h in handles {
+            worst = worst.max(h.join().expect("worker"));
+        }
+    });
+    worst
+}

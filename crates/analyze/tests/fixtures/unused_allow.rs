@@ -1,0 +1,10 @@
+//! Allow-hygiene fixture: a stale allow — the hazard it covered was
+//! fixed (BTreeMap now), so the annotation must be deleted. The linter
+//! reports the drift as an unsuppressed `allow` finding.
+
+use std::collections::BTreeMap;
+
+pub struct Cache {
+    // analyze: allow(d1) — point lookups only; never iterated
+    entries: BTreeMap<u64, u64>,
+}

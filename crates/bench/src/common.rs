@@ -65,7 +65,6 @@ pub fn adversarial_grid(
 /// the sweep in the message) and — in replay mode — when the merged
 /// ledger's next record disagrees with this run's workload (kind or size
 /// fingerprint).
-#[must_use]
 pub fn sweep_recorded<W, E>(
     context: &str,
     workload: &W,

@@ -41,6 +41,7 @@ use std::sync::Mutex;
 /// merge and replay time) plus the shard's partial report — or, after
 /// merging, the full one.
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[must_use = "a ledger record exists to be serialized or merged; dropping it loses the shard"]
 pub enum LedgerRecord {
     /// A scenario-grid sweep (pair or fleet mode) on one graph.
     Grid {
@@ -66,7 +67,6 @@ pub enum LedgerRecord {
 
 impl LedgerRecord {
     /// Builds the record of one workload's (partial) fold.
-    #[must_use]
     pub fn new(meta: WorkloadMeta, report: SweepReport) -> LedgerRecord {
         match meta.kind {
             WorkloadKind::Grid => LedgerRecord::Grid {
@@ -100,7 +100,6 @@ impl LedgerRecord {
     }
 
     /// The recorded report.
-    #[must_use]
     pub fn report(&self) -> &SweepReport {
         match self {
             LedgerRecord::Grid { report, .. } | LedgerRecord::Topo { report, .. } => report,

@@ -7,7 +7,9 @@
 //! ring checking measured ≤ bound.
 
 use crate::common::{all_label_pairs, measure_worst, ring_setup, standard_delays};
-use rendezvous_core::{smallest_t, FastWithRelabeling, LabelSpace, RendezvousAlgorithm};
+use rendezvous_core::{
+    corollary_t_prime, smallest_t, FastWithRelabeling, LabelSpace, RendezvousAlgorithm,
+};
 use rendezvous_runner::Runner;
 use serde::Serialize;
 
@@ -57,8 +59,7 @@ pub fn run_bounds(ls: &[u64], ws: &[u64]) -> Vec<BoundRow> {
                 continue;
             }
             let t = smallest_t(w, l);
-            let c = w as f64;
-            let cor = 4 * ((c * (l as f64).powf(1.0 / c)).ceil() as u64) + 5;
+            let cor = 4 * corollary_t_prime(w, l) + 5;
             rows.push(BoundRow {
                 l,
                 w,

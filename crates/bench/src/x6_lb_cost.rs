@@ -54,7 +54,7 @@ pub fn run(n: usize, ls: &[u64], runner: &Runner) -> Vec<Row> {
         Row {
             n,
             l,
-            log2_l: (l as f64).log2().ceil() as u32,
+            log2_l: l.next_power_of_two().trailing_zeros(),
             group_size: report.group.len(),
             m_blocks: report.m_blocks,
             distinct: report.all_distinct,

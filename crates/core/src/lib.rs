@@ -65,5 +65,5 @@ pub use fast::Fast;
 pub use gathering::{gathering_fleet, FleetMember, GatheringAgent};
 pub use iterated::{BaseAlgorithm, Iterated};
 pub use label::{Label, LabelSpace, ModifiedLabel};
-pub use relabel::{binomial, lex_subset_bits, smallest_t, FastWithRelabeling};
+pub use relabel::{binomial, corollary_t_prime, lex_subset_bits, smallest_t, FastWithRelabeling};
 pub use schedule::{FlatPlan, FlatPlanBehavior, Phase, Schedule, ScheduleBehavior};

@@ -50,6 +50,88 @@ pub fn smallest_t(w: u64, l: u64) -> u64 {
         .expect("binomial(t, w) is unbounded in t for fixed w >= 1")
 }
 
+/// `t' = ⌈w · L^{1/w}⌉`, the Corollary 2.1 string length, computed
+/// exactly in integers: the smallest `t` with `t^w ≥ w^w · L` (take
+/// `w`-th roots of both sides — they are monotone in `t`). The float
+/// rendering `(w as f64 * (l as f64).powf(1.0 / w as f64)).ceil()`
+/// depends on platform libm rounding at exact-power boundaries; this
+/// one never does.
+///
+/// # Panics
+///
+/// Panics if `w == 0` or `l == 0` (validated upstream by
+/// [`FastWithRelabeling::new`]).
+#[must_use]
+pub fn corollary_t_prime(w: u64, l: u64) -> u64 {
+    assert!(w > 0 && l > 0, "w and l must be positive");
+    // Upper bracket: with r the integer ceiling of L^{1/w}, the value
+    // w·r satisfies (w·r)^w = w^w · r^w ≥ w^w · L. Binary search on
+    // r ∈ [1, L] (L^{1/w} ≤ L always).
+    let target = vec![l];
+    let (mut rlo, mut rhi) = (1u64, l);
+    while rlo < rhi {
+        let mid = rlo + (rhi - rlo) / 2;
+        if big_cmp(&big_pow(mid, w), &target) != std::cmp::Ordering::Less {
+            rhi = mid;
+        } else {
+            rlo = mid + 1;
+        }
+    }
+    let r = rlo;
+    let rhs = big_pow_times(w, w, l);
+    let (mut lo, mut hi) = (w, w.saturating_mul(r));
+    // Invariant: hi satisfies hi^w ≥ w^w·L, lo-1 does not (t' ≥ w since
+    // L ≥ 1). Shrink to the smallest satisfying t.
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if big_cmp(&big_pow(mid, w), &rhs) != std::cmp::Ordering::Less {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// Little-endian base-2^64 magnitude of `base^exp` — `t^w` overflows
+/// `u128` for moderate `w`, so the Corollary 2.1 comparison runs on
+/// limb vectors.
+fn big_pow(base: u64, exp: u64) -> Vec<u64> {
+    let mut acc = vec![1u64];
+    for _ in 0..exp {
+        big_mul_u64(&mut acc, base);
+    }
+    acc
+}
+
+/// `base^exp · m` as limbs (`big_pow` with a final scalar multiply).
+fn big_pow_times(base: u64, exp: u64, m: u64) -> Vec<u64> {
+    let mut acc = big_pow(base, exp);
+    big_mul_u64(&mut acc, m);
+    acc
+}
+
+/// In-place `acc *= m` on little-endian limbs.
+fn big_mul_u64(acc: &mut Vec<u64>, m: u64) {
+    let mut carry: u128 = 0;
+    for limb in acc.iter_mut() {
+        let prod = u128::from(*limb) * u128::from(m) + carry;
+        *limb = prod as u64;
+        carry = prod >> 64;
+    }
+    if carry > 0 {
+        acc.push(carry as u64);
+    }
+}
+
+/// Compares two little-endian limb magnitudes.
+fn big_cmp(a: &[u64], b: &[u64]) -> std::cmp::Ordering {
+    let len = |v: &[u64]| v.iter().rposition(|&l| l != 0).map_or(0, |i| i + 1);
+    let (la, lb) = (len(a), len(b));
+    la.cmp(&lb)
+        .then_with(|| a[..la].iter().rev().cmp(b[..lb].iter().rev()))
+}
+
 /// The characteristic bit string (length `t`, weight `w`) of the
 /// lexicographically `rank`-th smallest `w`-subset of `{1, …, t}`
 /// (0-based rank; order is lexicographic on the bit strings, so rank 0 is
@@ -181,9 +263,7 @@ impl FastWithRelabeling {
     /// `(4c·L^{1/c} + 5)E`, an upper bound on [`Self::time_bound`].
     #[must_use]
     pub fn corollary_time_bound(&self) -> u64 {
-        let c = self.weight as f64;
-        let l = self.space.size() as f64;
-        let t_prime = (c * l.powf(1.0 / c)).ceil() as u64;
+        let t_prime = corollary_t_prime(self.weight, self.space.size());
         (4 * t_prime + 5) * self.exploration_bound()
     }
 }
@@ -362,6 +442,37 @@ mod tests {
             })
             .collect();
         assert_eq!(lens.len(), 1, "all schedules equally long");
+    }
+
+    #[test]
+    fn corollary_t_prime_is_exact_ceil() {
+        // Exact powers: w · L^{1/w} is an integer, no rounding slack.
+        assert_eq!(corollary_t_prime(2, 16), 8); // 2·4
+        assert_eq!(corollary_t_prime(2, 100), 20); // 2·10
+        assert_eq!(corollary_t_prime(3, 1000), 30); // 3·10
+        assert_eq!(corollary_t_prime(4, 4096), 32); // 4·8
+        assert_eq!(corollary_t_prime(1, 7), 7); // w=1 degenerates to L
+        assert_eq!(corollary_t_prime(5, 1), 5); // L=1 degenerates to w
+                                                // Non-exact: 2·sqrt(10) = 6.32…, so t' = 7 (and 7² = 49 ≥ 40 > 36 = 6²).
+        assert_eq!(corollary_t_prime(2, 10), 7);
+        // Agrees with the float rendering away from libm edge cases.
+        for w in 1u64..6 {
+            for l in 1u64..500 {
+                let float = (w as f64 * (l as f64).powf(1.0 / w as f64)).ceil() as u64;
+                let exact = corollary_t_prime(w, l);
+                assert!(
+                    exact.abs_diff(float) <= 1,
+                    "w={w} l={l}: exact {exact} vs float {float}"
+                );
+                // Definitionally minimal: t'^w ≥ w^w·L and (t'-1)^w < w^w·L.
+                let pow = |b: u64, e: u64| (0..e).fold(1u128, |a, _| a * u128::from(b));
+                assert!(pow(exact, w) >= pow(w, w) * u128::from(l));
+                assert!(exact == 1 || pow(exact - 1, w) < pow(w, w) * u128::from(l));
+            }
+        }
+        // Wide inputs where both sides of the comparison overflow u128.
+        assert_eq!(corollary_t_prime(30, 1 << 60), 120); // 30·2^2 = 120; 2^60 = (2^2)^30
+        assert_eq!(corollary_t_prime(64, u64::MAX), 128); // 64·2, since 2^64 > u64::MAX
     }
 
     #[test]

@@ -293,6 +293,8 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Result<PortLabeled
 /// [`GraphError::InvalidParameter`] if `n == 0` or `p` is not in `[0, 1]`.
 pub fn erdos_renyi_connected<R: Rng + ?Sized>(
     n: usize,
+    // analyze: allow(d3) — coin threshold for a seeded RNG: same seed + same p bits
+    // give the same graph on every platform; no arithmetic is done on it
     p: f64,
     rng: &mut R,
 ) -> Result<PortLabeledGraph, GraphError> {

@@ -168,6 +168,8 @@ impl GraphSpec {
                 }
                 generators::erdos_renyi_connected(
                     s.n,
+                    // analyze: allow(d3) — edge probability decoded from the integer
+                    // permille spec; consumed only as a per-edge coin threshold
                     f64::from(s.edge_permille) / 1000.0,
                     &mut StdRng::seed_from_u64(s.seed),
                 )

@@ -16,7 +16,7 @@ use crate::{oriented_ring_size, trim, LowerBoundError, TrimmedAlgorithm};
 use rendezvous_core::{Label, RendezvousAlgorithm};
 use rendezvous_graph::NodeId;
 use rendezvous_sim::run_solo;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Sum of a slice of aggregate entries (the paper's `surplus`).
 #[must_use]
@@ -115,7 +115,7 @@ pub fn aggregate_vector(
     assert_eq!(n % sectors, 0, "caller must ensure 6 | n");
     let start = NodeId::new(0);
     let mut agent = algorithm.agent(label, start)?;
-    let rounds = (blocks * block_len) as u64;
+    let rounds = blocks as u64 * block_len as u64;
     let trace = run_solo(graph, &mut agent, start, rounds)?;
     let sector = |v: NodeId| v.index() / block_len;
     let mut agg = Vec::with_capacity(blocks);
@@ -186,7 +186,7 @@ pub fn progress_audit(
 
     // Pigeonhole: group agents by the block containing m_x.
     let block_of = |m: u64| -> usize { (m as usize).div_ceil(block_len).max(1) };
-    let mut groups: HashMap<usize, Vec<Label>> = HashMap::new();
+    let mut groups: BTreeMap<usize, Vec<Label>> = BTreeMap::new();
     for v in 1..=l {
         let label = Label::new(v).expect(">0");
         groups
@@ -212,13 +212,13 @@ pub fn progress_audit(
         // the solo execution over the analyzed window.
         let k = (nz / 2) as u64;
         let solo_cost =
-            crate::behavior_vector(algorithm, label, (m_blocks * block_len) as u64)?.weight();
+            crate::behavior_vector(algorithm, label, m_blocks as u64 * block_len as u64)?.weight();
         if solo_cost < k * (block_len as u64) {
             witnesses_hold = false;
         }
         vectors.push((label, agg, prog));
     }
-    let mut seen = std::collections::HashSet::new();
+    let mut seen = std::collections::BTreeSet::new();
     let all_distinct = vectors.iter().all(|(_, _, p)| seen.insert(p.clone()));
     let cost_witness = ((max_nonzero / 2) as u64) * (block_len as u64);
 

@@ -26,7 +26,7 @@ use crate::{Bounds, Runner};
 use rendezvous_core::RendezvousAlgorithm;
 use rendezvous_graph::{analysis, NodeId};
 use rendezvous_sim::BatchSolver;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A work unit of one piece: either a delay-batched group (in-piece
 /// scenario indices sharing labels, starts and horizon) or a single
@@ -127,7 +127,7 @@ impl PieceExecutor for BatchExecutor<'_> {
         let scenarios = &piece.scenarios;
         // Bucket batchable scenarios by (labels, starts, horizon) in
         // first-appearance order; everything else runs stepped.
-        let mut slots: HashMap<(u64, u64, NodeId, NodeId, u64), usize> = HashMap::new();
+        let mut slots: BTreeMap<(u64, u64, NodeId, NodeId, u64), usize> = BTreeMap::new();
         let mut jobs: Vec<Job> = Vec::new();
         for (i, scenario) in scenarios.iter().enumerate() {
             if self.batchable(scenario) {

@@ -4,7 +4,7 @@ use crate::{Scenario, ScenarioOutcome};
 use rendezvous_core::{CoreError, FlatPlan, Label, RendezvousAlgorithm, Schedule};
 use rendezvous_graph::NodeId;
 use rendezvous_sim::{AgentBehavior, AgentSpec, MeetingCondition, SimError, Simulation};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, RwLock};
 
@@ -67,8 +67,8 @@ pub trait Executor: Sync {
 /// race benignly.
 pub struct AlgorithmExecutor<'a> {
     algorithm: &'a dyn RendezvousAlgorithm,
-    schedules: RwLock<HashMap<u64, Arc<Schedule>>>,
-    plans: RwLock<HashMap<(u64, NodeId), Arc<FlatPlan>>>,
+    schedules: RwLock<BTreeMap<u64, Arc<Schedule>>>,
+    plans: RwLock<BTreeMap<(u64, NodeId), Arc<FlatPlan>>>,
 }
 
 impl<'a> AlgorithmExecutor<'a> {
@@ -77,8 +77,8 @@ impl<'a> AlgorithmExecutor<'a> {
     pub fn new(algorithm: &'a dyn RendezvousAlgorithm) -> Self {
         AlgorithmExecutor {
             algorithm,
-            schedules: RwLock::new(HashMap::new()),
-            plans: RwLock::new(HashMap::new()),
+            schedules: RwLock::new(BTreeMap::new()),
+            plans: RwLock::new(BTreeMap::new()),
         }
     }
 

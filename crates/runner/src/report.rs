@@ -153,20 +153,26 @@ impl GroupStats {
 
     /// Mean time over meeting scenarios.
     #[must_use]
+    // analyze: allow(d3) — display-only mean; merges and comparisons use the exact
+    // integer totals (`ratio_pair_gt/eq`), never this value
     pub fn mean_time(&self) -> f64 {
         if self.meetings == 0 {
             0.0
         } else {
+            // analyze: allow(d3) — rendering of exact integer totals
             self.total_time as f64 / self.meetings as f64
         }
     }
 
     /// Mean cost over meeting scenarios.
     #[must_use]
+    // analyze: allow(d3) — display-only mean; merges and comparisons use the exact
+    // integer totals (`ratio_pair_gt/eq`), never this value
     pub fn mean_cost(&self) -> f64 {
         if self.meetings == 0 {
             0.0
         } else {
+            // analyze: allow(d3) — rendering of exact integer totals
             self.total_cost as f64 / self.meetings as f64
         }
     }
@@ -239,6 +245,7 @@ impl GroupStats {
         }
     }
 
+    #[must_use]
     fn merge(&self, other: &GroupStats) -> GroupStats {
         assert_eq!(self.key, other.key, "merging different fold groups");
         GroupStats {
@@ -318,6 +325,7 @@ fn merge_witness(
 /// lowest-global-index tie-breaks included (property-tested in `tests/`
 /// and CI-diffed end-to-end against the `experiments` binary).
 #[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[must_use = "a sweep report is the sweep's only output; dropping it discards the fold"]
 pub struct SweepReport {
     /// Per-key aggregates, sorted by key.
     pub groups: Vec<GroupStats>,
@@ -346,7 +354,6 @@ impl SweepReport {
     /// Combines the reports of two disjoint index ranges of one sweep —
     /// associative and commutative, since every field is a sum, a max, or
     /// an index-tie-broken witness, and groups stay sorted by key.
-    #[must_use]
     pub fn merge(&self, other: &SweepReport) -> SweepReport {
         let mut groups = Vec::with_capacity(self.groups.len().max(other.groups.len()));
         let (mut i, mut j) = (0, 0);
@@ -431,7 +438,6 @@ impl SweepReport {
 /// Sequentially folds outcomes (at their slice positions, under the
 /// empty key) into a [`SweepReport`] — the reference fold that parallel
 /// and sharded sweeps must agree with.
-#[must_use]
 pub fn fold_outcomes(outcomes: &[ScenarioOutcome], bounds: Option<Bounds>) -> SweepReport {
     let mut report = SweepReport::default();
     for (index, outcome) in outcomes.iter().enumerate() {

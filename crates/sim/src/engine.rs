@@ -50,6 +50,8 @@ fn count_crossings_hashed(
     previous: &[NodeId],
     positions: &[NodeId],
     actions: &[Action],
+    // analyze: allow(d1) — scratch multiset: entry/get only, never iterated; the
+    // crossing count summed from it is order-independent
     move_pairs: &mut HashMap<(NodeId, NodeId), u32>,
 ) -> u64 {
     move_pairs.clear();
@@ -90,6 +92,8 @@ fn first_shared_node_quadratic(positions: &[NodeId]) -> Option<NodeId> {
 /// shares its node).
 fn first_shared_node_hashed(
     positions: &[NodeId],
+    // analyze: allow(d1) — scratch occupancy counts: point lookups only; the witness
+    // is chosen by scanning `positions` in global agent order, not by map order
     occupancy: &mut HashMap<NodeId, u32>,
 ) -> Option<NodeId> {
     occupancy.clear();
@@ -395,7 +399,10 @@ impl<'a> Simulation<'a> {
         let use_maps = k > SMALL_FLEET;
         let mut previous: Vec<NodeId> = positions.clone();
         let mut actions: Vec<Action> = vec![Action::Stay; k];
+        // analyze: allow(d1) — reusable scratch buffers for the helpers above; both are
+        // cleared per round and never iterated
         let mut occupancy: HashMap<NodeId, u32> = HashMap::new();
+        // analyze: allow(d1) — same scratch-buffer discipline as `occupancy`
         let mut move_pairs: HashMap<(NodeId, NodeId), u32> = HashMap::new();
 
         let mut meeting = None;
