@@ -1,0 +1,15 @@
+//! Fixture: bare wall-clock reads, no allow annotations. Clean only
+//! when the file lives inside a configured `[rules.d4] timing_exempt`
+//! scope (the telemetry crate's quarantined stopwatch); the identical
+//! source flags at any other path — the exemption is positional, not
+//! global.
+
+use std::time::Instant;
+
+pub fn start() -> Instant {
+    Instant::now()
+}
+
+pub fn elapsed_ns(started: &Instant) -> u64 {
+    u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}

@@ -113,6 +113,28 @@ fn bare_allow_fails_and_unused_allow_fails() {
     assert!(!unused[0].allowed);
 }
 
+/// The telemetry crate's wall-clock sanction is a *scope*, not a
+/// loophole: with `timing_exempt` covering the telemetry source tree,
+/// the same bare `Instant` reads that pass at a telemetry path still
+/// flag — unallowed — at any other path.
+#[test]
+fn d4_timing_exemption_is_scoped_to_configured_paths() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/d4_scoped_timing.rs");
+    let source = std::fs::read_to_string(&path).expect("fixture");
+    let mut cfg = Config::everywhere();
+    cfg.d4_timing_exempt = vec!["crates/telemetry/src".into()];
+    let exempt = analyze_source("crates/telemetry/src/metrics.rs", &source, &cfg);
+    assert!(
+        exempt.is_empty(),
+        "timing-exempt path must not flag the stopwatch: {exempt:?}"
+    );
+    let flagged = analyze_source("crates/runner/src/runner.rs", &source, &cfg);
+    assert!(
+        flagged.iter().any(|f| f.rule == "D4" && !f.allowed),
+        "the same source outside the scope must flag: {flagged:?}"
+    );
+}
+
 /// The acceptance gate, inside the suite: the workspace's own source
 /// analyzes clean under the checked-in `analyze.toml` — every finding
 /// either fixed or carrying a written justification.

@@ -316,24 +316,48 @@ fn batch_solving(c: &mut Criterion) {
     });
 }
 
+/// Samples per bench — recorded in the sidecar `meta` so the medians'
+/// stability is interpretable.
+const SAMPLE_SIZE: usize = 20;
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20);
+    config = Criterion::default().sample_size(SAMPLE_SIZE);
     targets = engine_throughput, engine_occupancy, engine_flat_plan, walk_computation, label_machinery, graph_generation, topo_graph_build, batch_solving
 }
 
 /// Runs every group, then persists the recorded medians as
 /// `BENCH_micro.json` at the repo root (bench names are `[a-z0-9_/]`, so
-/// plain string formatting is valid JSON).
+/// plain string formatting is valid JSON), under a `meta` section
+/// recording the harness provenance — wall-clock numbers are only
+/// interpretable next to the thread count, build profile, sweep-engine
+/// selection, and sample size that produced them.
 fn main() {
     benches();
     let results = criterion::take_results();
-    let mut doc = String::from("{\n");
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let profile = if cfg!(debug_assertions) {
+        "debug"
+    } else {
+        "release"
+    };
+    let mut doc = String::from("{\n  \"meta\": {\n");
+    doc.push_str("    \"harness\": \"criterion-lite\",\n");
+    doc.push_str(&format!(
+        "    \"engine\": \"{}\",\n",
+        rendezvous_bench::engine::current().name()
+    ));
+    doc.push_str(&format!("    \"profile\": \"{profile}\",\n"));
+    doc.push_str(&format!("    \"sample_size\": {SAMPLE_SIZE},\n"));
+    doc.push_str(&format!("    \"threads\": {threads}\n"));
+    doc.push_str("  },\n  \"results\": {\n");
     for (i, (name, ns)) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
-        doc.push_str(&format!("  \"{name}\": {ns}{comma}\n"));
+        doc.push_str(&format!("    \"{name}\": {ns}{comma}\n"));
     }
-    doc.push_str("}\n");
+    doc.push_str("  }\n}\n");
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_micro.json");
     std::fs::write(path, &doc).expect("write BENCH_micro.json");
     println!("\nwrote {} medians to BENCH_micro.json", results.len());

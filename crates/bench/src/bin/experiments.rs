@@ -5,6 +5,7 @@
 //! ```text
 //! experiments [all|x1|x2|...|x11]... [--topo] [--quick] [--json]
 //!             [--sequential|--parallel] [--engine stepped|batched]
+//!             [--progress] [--telemetry FILE]
 //!             [--shard i/m [--emit-shard]] [--merge-shards FILE...]
 //!             [--spawn-shards m]
 //! ```
@@ -48,6 +49,22 @@
 //! ledgers in memory, merges them, and renders the ordinary output —
 //! still byte-identical to the single-process run.
 //!
+//! # Observability
+//!
+//! `--progress` renders a live pieces/scenarios/rate/ETA line to stderr
+//! while sweeps execute (stdout untouched); `--telemetry FILE` writes a
+//! deterministic `TELEMETRY.json` sidecar after the run — exact
+//! counters in sorted sections, wall-clock data quarantined under
+//! `timing`. Both compose with `--spawn-shards m`: each child streams
+//! `@progress`/`@telemetry` protocol lines over stderr (internal
+//! `--progress-stream`/`--telemetry-stream` flags), the parent
+//! aggregates the live display and merges the children's snapshots
+//! into one sidecar. Neither flag may change the experiment output:
+//! CI byte-diffs telemetry-on against telemetry-off on every push.
+//! `--telemetry` with `--merge-shards` is rejected — a merge replays
+//! recorded sweeps and executes nothing, so its sidecar would be
+//! vacuously empty.
+//!
 //! # Topology sweeps
 //!
 //! `x10` (alias `--topo`) sweeps 100+ **seeded graph instances per
@@ -62,6 +79,10 @@
 
 use rendezvous_bench::*;
 use rendezvous_runner::Runner;
+use rendezvous_telemetry::{
+    telemetry_line, ProgressHub, ProgressReporter, StderrPump, TelemetrySnapshot,
+};
+use std::sync::Arc;
 
 struct Config {
     quick: bool,
@@ -124,7 +145,20 @@ fn parse_shard_spec(spec: &str) -> (usize, usize) {
 /// `--shard i/m`), parses the emitted ledgers, and returns them merged —
 /// the driver mode that closes the "spawn the shards and merge
 /// automatically" loop without temp files.
-fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedger {
+///
+/// With `progress` the children stream `@progress` protocol lines and
+/// the parent renders their aggregated live display; with `telemetry`
+/// each child's final `@telemetry` snapshot is captured and the merged
+/// snapshot returned (merge order is irrelevant — the fold is
+/// associative and commutative, property-tested in the telemetry
+/// crate). Every child's stderr is drained on a pump thread either
+/// way, so a failed shard's diagnostics still surface verbatim.
+fn spawn_shards(
+    m: usize,
+    passthrough: &[String],
+    progress: bool,
+    telemetry: bool,
+) -> (sharding::MergedLedger, Option<TelemetrySnapshot>) {
     let exe = std::env::current_exe().unwrap_or_else(|e| {
         eprintln!("cannot locate own binary: {e}");
         std::process::exit(1);
@@ -132,21 +166,32 @@ fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedger {
     // Launch every child before collecting any, so the shards actually
     // overlap in wall-clock time; collection order is irrelevant to the
     // result (the merge validates and sorts by shard index).
+    let hub = ProgressHub::new(m);
+    let mut pumps: Vec<StderrPump> = Vec::with_capacity(m);
     let children: Vec<std::process::Child> = (0..m)
         .map(|i| {
-            std::process::Command::new(&exe)
-                .args(passthrough)
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(passthrough)
                 .arg("--shard")
                 .arg(format!("{i}/{m}"))
                 .stdout(std::process::Stdio::piped())
-                .stderr(std::process::Stdio::piped())
-                .spawn()
-                .unwrap_or_else(|e| {
-                    eprintln!("cannot spawn shard {i}/{m}: {e}");
-                    std::process::exit(1);
-                })
+                .stderr(std::process::Stdio::piped());
+            if progress {
+                cmd.arg("--progress-stream");
+            }
+            if telemetry {
+                cmd.arg("--telemetry-stream");
+            }
+            let mut child = cmd.spawn().unwrap_or_else(|e| {
+                eprintln!("cannot spawn shard {i}/{m}: {e}");
+                std::process::exit(1);
+            });
+            let stderr = child.stderr.take().expect("child stderr is piped");
+            pumps.push(StderrPump::pump(stderr, &hub, i));
+            child
         })
         .collect();
+    let reporter = progress.then(|| ProgressReporter::aggregate(&hub));
     // Join (and thereby reap) every child before inspecting any status:
     // bailing out on the first failure would orphan the still-running
     // shards mid-sweep. A failed shard is a runtime failure (exit 1),
@@ -155,6 +200,13 @@ fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedger {
         .into_iter()
         .map(std::process::Child::wait_with_output)
         .collect();
+    // Children have exited, so the pumps see EOF; join them (and stop
+    // the live display) before any diagnostics are printed.
+    let drained: Vec<(String, Option<TelemetrySnapshot>)> =
+        pumps.into_iter().map(StderrPump::finish).collect();
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
     let emissions: Vec<sharding::ShardEmission> = outputs
         .into_iter()
         .enumerate()
@@ -166,8 +218,7 @@ fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedger {
             if !output.status.success() {
                 eprintln!(
                     "shard {i}/{m} failed ({}):\n{}",
-                    output.status,
-                    String::from_utf8_lossy(&output.stderr)
+                    output.status, drained[i].0
                 );
                 std::process::exit(1);
             }
@@ -178,11 +229,33 @@ fn spawn_shards(m: usize, passthrough: &[String]) -> sharding::MergedLedger {
             })
         })
         .collect();
+    let snapshot = telemetry.then(|| {
+        drained
+            .iter()
+            .enumerate()
+            .map(|(i, (_, snap))| {
+                snap.as_ref().unwrap_or_else(|| {
+                    eprintln!("shard {i}/{m} exited without a telemetry snapshot");
+                    std::process::exit(1);
+                })
+            })
+            .fold(TelemetrySnapshot::empty(), |acc, s| acc.merge(s))
+    });
     let names: Vec<String> = (0..m).map(|i| format!("spawned shard {i}/{m}")).collect();
-    sharding::merge_emissions(emissions, &names).unwrap_or_else(|e| {
+    let merged = sharding::merge_emissions(emissions, &names).unwrap_or_else(|e| {
         eprintln!("cannot merge spawned shards: {e}");
         std::process::exit(1);
-    })
+    });
+    (merged, snapshot)
+}
+
+/// Writes the sidecar document (exact sections sorted, wall-clock data
+/// quarantined) to `path`.
+fn write_sidecar(path: &str, snapshot: &TelemetrySnapshot) {
+    std::fs::write(path, snapshot.render()).unwrap_or_else(|e| {
+        eprintln!("cannot write telemetry sidecar {path}: {e}");
+        std::process::exit(1);
+    });
 }
 
 fn main() {
@@ -193,6 +266,10 @@ fn main() {
     let mut parallel = false;
     let mut emit_shard = false;
     let mut topo = false;
+    let mut progress = false;
+    let mut progress_stream = false;
+    let mut telemetry_stream = false;
+    let mut telemetry_path: Option<String> = None;
     let mut shard: Option<(usize, usize)> = None;
     let mut spawn: Option<usize> = None;
     let mut merge_files: Option<Vec<String>> = None;
@@ -210,6 +287,31 @@ fn main() {
             "--parallel" => parallel = true,
             "--emit-shard" => emit_shard = true,
             "--topo" => topo = true,
+            // Not forwarded: the spawn driver renders the aggregate
+            // display itself and hands children the stream flags below.
+            "--progress" => {
+                progress = true;
+                forward = false;
+            }
+            // Not forwarded: each child would clobber the parent's
+            // sidecar; the driver merges child snapshots instead.
+            "--telemetry" => {
+                telemetry_path = Some(
+                    iter.next()
+                        .unwrap_or_else(|| usage_error("--telemetry requires a file path")),
+                );
+                continue;
+            }
+            // Internal (spawned-child) flags: emit `@progress` /
+            // `@telemetry` protocol lines on stderr for the parent.
+            "--progress-stream" => {
+                progress_stream = true;
+                forward = false;
+            }
+            "--telemetry-stream" => {
+                telemetry_stream = true;
+                forward = false;
+            }
             // Not forwarded: --shard cannot combine with --spawn-shards
             // (rejected below), so passthrough never carries a shard spec.
             "--shard" => {
@@ -277,6 +379,12 @@ fn main() {
     if spawn.is_some() && (shard.is_some() || emit_shard || merge_files.is_some()) {
         usage_error("--spawn-shards cannot be combined with --shard/--emit-shard/--merge-shards");
     }
+    if telemetry_path.is_some() && merge_files.is_some() {
+        usage_error(
+            "--telemetry cannot be combined with --merge-shards: a merge replays recorded \
+             sweeps and executes nothing, so the sidecar would be vacuously empty",
+        );
+    }
     // `all` stays x1..x9: the topology sweeps (x10/x11) are the heaviest
     // tables and are selected explicitly. `--topo` is a selector — alone
     // it runs just x10; next to ids (or `all`) it adds x10 to them. An
@@ -295,21 +403,37 @@ fn main() {
     if topo && !wanted.iter().any(|w| w == "x10") {
         wanted.push("x10".into());
     }
+    // Telemetry session: installed only in processes that *execute*
+    // sweeps. The spawn driver replays its children's merged ledger, so
+    // observability flags translate into child stream flags instead of
+    // a local sink; a spawned child always has the stream flags.
+    let wants_local_telemetry = progress_stream
+        || telemetry_stream
+        || (spawn.is_none() && (progress || telemetry_path.is_some()));
+    let session = wants_local_telemetry.then(telemetry::install);
+    let mut runner = if sequential {
+        Runner::sequential()
+    } else {
+        Runner::parallel()
+    };
+    if let Some(metrics) = &session {
+        runner = runner.with_metrics(Arc::clone(metrics));
+    }
     let cfg = Config {
         quick,
         json,
         emit_shard,
-        runner: if sequential {
-            Runner::sequential()
-        } else {
-            Runner::parallel()
-        },
+        runner,
     };
 
+    // The spawn driver's merged child snapshot (written after the
+    // replayed render below, so a failed replay never leaves a sidecar).
+    let mut spawned_snapshot: Option<TelemetrySnapshot> = None;
     if let Some((i, m)) = shard {
         sharding::begin_shard(i, m);
     } else if let Some(m) = spawn {
-        let merged = spawn_shards(m, &passthrough);
+        let (merged, snapshot) = spawn_shards(m, &passthrough, progress, telemetry_path.is_some());
+        spawned_snapshot = snapshot;
         sharding::begin_replay(merged.records, merged.source);
     } else if let Some(files) = &merge_files {
         let emissions: Vec<sharding::ShardEmission> = files
@@ -325,6 +449,15 @@ fn main() {
             .unwrap_or_else(|e| usage_error(&format!("cannot merge shards: {e}")));
         sharding::begin_replay(merged.records, merged.source);
     }
+
+    // Live progress over the local session: `--progress-stream`
+    // (machine lines for a parent driver) wins over `--progress`
+    // (human display) — a spawned child never renders its own display.
+    let reporter = match &session {
+        Some(metrics) if progress_stream => Some(ProgressReporter::stream(metrics)),
+        Some(metrics) if progress => Some(ProgressReporter::human(metrics)),
+        _ => None,
+    };
 
     for w in &wanted {
         match w.as_str() {
@@ -343,6 +476,9 @@ fn main() {
         }
     }
 
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
     if shard.is_some() {
         let emission = sharding::finish_shard();
         println!(
@@ -351,6 +487,21 @@ fn main() {
         );
     } else if spawn.is_some() || merge_files.is_some() {
         sharding::finish_replay();
+    }
+    // Telemetry emission, after every exact byte of output is out: the
+    // final `@telemetry` protocol line for a parent driver, the sidecar
+    // file for a local session, the merged child sidecar for the spawn
+    // driver.
+    if let Some(metrics) = &session {
+        if telemetry_stream {
+            eprintln!("{}", telemetry_line(&metrics.snapshot()));
+        }
+        if let Some(path) = &telemetry_path {
+            write_sidecar(path, &metrics.snapshot());
+        }
+    }
+    if let (Some(path), Some(snapshot)) = (&telemetry_path, &spawned_snapshot) {
+        write_sidecar(path, snapshot);
     }
 }
 

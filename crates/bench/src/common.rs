@@ -9,6 +9,7 @@ use rendezvous_runner::{
     AlgorithmExecutor, BatchExecutor, Bounded, Bounds, Grid, GroupStats, PieceExecutor, Runner,
     SweepReport, Workload,
 };
+use rendezvous_telemetry::Scope;
 use serde::Serialize;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -76,11 +77,22 @@ where
     E: PieceExecutor + ?Sized,
 {
     let meta = workload.meta();
+    // Sweeps *executed* here (Full and Shard plans); a replayed record
+    // stands in for execution, so it deliberately counts nothing.
+    let count_sweep = || {
+        if let Some(metrics) = crate::telemetry::current() {
+            metrics.counter(Scope::Process, "sweeps").inc();
+        }
+    };
     let report = match crate::sharding::plan_sweep(&meta) {
-        crate::sharding::SweepPlan::Full => runner
-            .sweep(workload, executor)
-            .unwrap_or_else(|e| panic!("adversarial sweep failed for {context}: {e}")),
+        crate::sharding::SweepPlan::Full => {
+            count_sweep();
+            runner
+                .sweep(workload, executor)
+                .unwrap_or_else(|e| panic!("adversarial sweep failed for {context}: {e}"))
+        }
         crate::sharding::SweepPlan::Shard { shard, of } => {
+            count_sweep();
             let report = runner
                 .sweep_shard(workload, shard, of, executor)
                 .unwrap_or_else(|e| panic!("adversarial shard sweep failed for {context}: {e}"));
@@ -125,9 +137,16 @@ pub fn sweep_worst(
     });
     // Both engines fold byte-identical reports (CI diffs them on every
     // push); `--engine batched` collapses the delay axis per start pair.
+    // An installed telemetry session observes either engine's executor —
+    // plan-cache hit rates and batch classification — without entering
+    // the fold (CI also diffs telemetry-on against telemetry-off).
+    let session = crate::telemetry::current();
     let report = match crate::engine::current() {
         crate::engine::Engine::Stepped => {
-            let executor = AlgorithmExecutor::new(algorithm);
+            let mut executor = AlgorithmExecutor::new(algorithm);
+            if let Some(metrics) = &session {
+                executor = executor.with_metrics(metrics);
+            }
             sweep_recorded(
                 algorithm.name(),
                 &grid,
@@ -136,7 +155,10 @@ pub fn sweep_worst(
             )
         }
         crate::engine::Engine::Batched => {
-            let executor = BatchExecutor::new(algorithm).with_bounds(bounds);
+            let mut executor = BatchExecutor::new(algorithm).with_bounds(bounds);
+            if let Some(metrics) = &session {
+                executor = executor.with_metrics(metrics);
+            }
             sweep_recorded(algorithm.name(), &grid, &executor, runner)
         }
     };

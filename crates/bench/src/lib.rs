@@ -29,6 +29,7 @@
 pub mod common;
 pub mod engine;
 pub mod sharding;
+pub mod telemetry;
 pub mod x10_topologies;
 pub mod x11_gathering_topo;
 pub mod x1_cheap;

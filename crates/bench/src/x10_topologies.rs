@@ -116,18 +116,27 @@ impl PieceExecutor for AlgoTopoExecutor {
             time: alg.time_bound(),
             cost: alg.cost_bound(),
         };
-        // Same engine switch as `common::sweep_worst`: the batched
-        // executor folds at the piece's global offsets, so reports and
-        // the shard ledger stay byte-identical either way.
+        // Same engine switch (and telemetry attachment) as
+        // `common::sweep_worst`: the batched executor folds at the
+        // piece's global offsets, so reports and the shard ledger stay
+        // byte-identical either way.
+        let session = crate::telemetry::current();
         match crate::engine::current() {
             crate::engine::Engine::Stepped => {
-                let outcomes =
-                    runner.outcomes(&AlgorithmExecutor::new(alg.as_ref()), &piece.scenarios)?;
+                let mut executor = AlgorithmExecutor::new(alg.as_ref());
+                if let Some(metrics) = &session {
+                    executor = executor.with_metrics(metrics);
+                }
+                let outcomes = runner.outcomes(&executor, &piece.scenarios)?;
                 Ok((outcomes, Some(bounds)))
             }
-            crate::engine::Engine::Batched => BatchExecutor::new(alg.as_ref())
-                .with_bounds(Some(bounds))
-                .run_piece(runner, piece),
+            crate::engine::Engine::Batched => {
+                let mut executor = BatchExecutor::new(alg.as_ref()).with_bounds(Some(bounds));
+                if let Some(metrics) = &session {
+                    executor = executor.with_metrics(metrics);
+                }
+                executor.run_piece(runner, piece)
+            }
         }
     }
 }

@@ -1,0 +1,62 @@
+//! The bench harness's telemetry session, end to end: installing the
+//! process-global sink makes `sweep_worst` observable — sweeps counted,
+//! plan-cache hit rate visible, batch classification recorded — while
+//! the measured statistics stay exactly what an unobserved sweep
+//! produces (the runner-level byte-identity tests pin that; here we
+//! pin the *session* wiring the experiments binary relies on).
+//!
+//! Lives in its own integration-test binary on purpose: the session is
+//! a process-global `OnceLock`, and installing it must not leak into
+//! the crate's other test processes.
+
+use rendezvous_bench::{common, engine, telemetry};
+use rendezvous_core::{Cheap, LabelSpace, RendezvousAlgorithm};
+use rendezvous_runner::Runner;
+use std::sync::Arc;
+
+#[test]
+fn installed_session_observes_sweep_worst() {
+    let metrics = telemetry::install();
+    assert!(telemetry::current().is_some(), "install is sticky");
+
+    let (g, ex) = common::ring_setup(6);
+    let alg = Cheap::new(g, ex, LabelSpace::new(4).unwrap());
+    let runner = Runner::with_threads(2).with_metrics(Arc::clone(&metrics));
+
+    // One stepped sweep, then the same grid batched: both engines feed
+    // the same session, and the stats they return must agree.
+    let stepped = common::sweep_worst(
+        &alg,
+        &common::all_label_pairs(4),
+        &common::standard_delays(5),
+        4 * alg.time_bound(),
+        &runner,
+    );
+    engine::set_engine(engine::Engine::Batched);
+    let batched = common::sweep_worst(
+        &alg,
+        &common::all_label_pairs(4),
+        &common::standard_delays(5),
+        4 * alg.time_bound(),
+        &runner,
+    );
+    assert_eq!(stepped.max_time, batched.max_time);
+    assert_eq!(stepped.max_cost, batched.max_cost);
+
+    let snap = metrics.snapshot();
+    // Both sweeps executed here (no sharding session): counted.
+    assert_eq!(snap.process.get("sweeps"), Some(&2));
+    let executed = snap.counters["scenarios_executed"];
+    assert_eq!(executed, u64::try_from(2 * stepped.executed).unwrap());
+    // The acceptance counters: a nonzero plan-cache hit rate (labels
+    // repeat across start pairs and delays) and a nonzero batched
+    // classification from the second sweep.
+    assert!(snap.process["plan_cache_hits"] > 0, "{snap:?}");
+    assert!(snap.process["plan_cache_misses"] > 0, "{snap:?}");
+    assert!(snap.counters["scenarios_batched"] > 0, "{snap:?}");
+    assert!(snap.process["batch_groups"] > 0, "{snap:?}");
+    // Live progress advanced in lockstep with execution.
+    let counts = metrics.progress().counts();
+    assert_eq!(counts.scenarios_done, executed);
+    assert_eq!(counts.scenarios_done, counts.scenarios_total);
+}

@@ -26,6 +26,7 @@ use crate::{Bounds, Runner};
 use rendezvous_core::RendezvousAlgorithm;
 use rendezvous_graph::{analysis, NodeId};
 use rendezvous_sim::BatchSolver;
+use rendezvous_telemetry::{Counter, Metrics, Scope};
 use std::collections::BTreeMap;
 
 /// A work unit of one piece: either a delay-batched group (in-piece
@@ -46,6 +47,18 @@ pub struct BatchExecutor<'a> {
     inner: AlgorithmExecutor<'a>,
     bounds: Option<Bounds>,
     connected: bool,
+    counters: Option<BatchCounters>,
+}
+
+/// Batched-vs-fallback classification counters (attached via
+/// [`BatchExecutor::with_metrics`]). The scenario-scoped pair is
+/// sharding-invariant because [`BatchExecutor::batchable`] is a pure
+/// per-scenario predicate: any partition of a sweep classifies every
+/// scenario identically.
+struct BatchCounters {
+    batched: Counter,
+    stepped: Counter,
+    groups: Counter,
 }
 
 impl<'a> BatchExecutor<'a> {
@@ -60,6 +73,7 @@ impl<'a> BatchExecutor<'a> {
             // once here and route everything stepped if it fails, so the
             // error surfaces identically.
             connected: analysis::is_connected(algorithm.graph()),
+            counters: None,
         }
     }
 
@@ -68,6 +82,19 @@ impl<'a> BatchExecutor<'a> {
     #[must_use]
     pub fn with_bounds(mut self, bounds: Option<Bounds>) -> Self {
         self.bounds = bounds;
+        self
+    }
+
+    /// Attaches classification counters (and the inner executor's
+    /// plan-cache counters) from `metrics`.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.inner = self.inner.with_metrics(metrics);
+        self.counters = Some(BatchCounters {
+            batched: metrics.counter(Scope::Scenario, "scenarios_batched"),
+            stepped: metrics.counter(Scope::Scenario, "scenarios_stepped"),
+            groups: metrics.counter(Scope::Process, "batch_groups"),
+        });
         self
     }
 
@@ -152,6 +179,17 @@ impl PieceExecutor for BatchExecutor<'_> {
                 jobs.push(Job::Stepped(i));
             }
         }
+        if let Some(counters) = &self.counters {
+            for job in &jobs {
+                match job {
+                    Job::Batched(group) => {
+                        counters.batched.add_count(group.len());
+                        counters.groups.inc();
+                    }
+                    Job::Stepped(_) => counters.stepped.inc(),
+                }
+            }
+        }
         // One group (or one fallback scenario) per parallel task: the
         // runner spreads the piece's groups across its threads.
         let results = runner.map(jobs, |_, job| match job {
@@ -180,8 +218,8 @@ impl PieceExecutor for BatchExecutor<'_> {
                 }
             }
         }
-        if let Some((_, e)) = first_error {
-            return Err(e);
+        if let Some((i, e)) = first_error {
+            return Err(e.at_index(i));
         }
         let outcomes = outcomes
             .into_iter()

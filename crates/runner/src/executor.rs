@@ -4,6 +4,8 @@ use crate::{Scenario, ScenarioOutcome};
 use rendezvous_core::{CoreError, FlatPlan, Label, RendezvousAlgorithm, Schedule};
 use rendezvous_graph::NodeId;
 use rendezvous_sim::{AgentBehavior, AgentSpec, MeetingCondition, SimError, Simulation};
+use rendezvous_telemetry::{Counter, Metrics, Scope};
+use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::{Arc, RwLock};
@@ -11,19 +13,70 @@ use std::sync::{Arc, RwLock};
 /// An executor error: configuration or simulation failure. Both indicate a
 /// harness bug (the adversary only enumerates valid configurations), so the
 /// sweep fails fast instead of folding poisoned values.
+///
+/// Errors carry locating context when the sweep machinery can attach
+/// it: the failing scenario's **global** workload index and its piece's
+/// fold key — at 10⁹-scenario scale "which scenario" must be in the
+/// message, not reconstructed from logs.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunnerError(String);
+pub struct RunnerError {
+    msg: String,
+    index: Option<usize>,
+    key: Option<String>,
+}
 
 impl RunnerError {
-    /// Wraps any error message.
+    /// Wraps any error message (no location attached yet).
     pub fn new(msg: impl Into<String>) -> Self {
-        RunnerError(msg.into())
+        RunnerError {
+            msg: msg.into(),
+            index: None,
+            key: None,
+        }
+    }
+
+    /// Attaches the failing scenario's index if none is attached yet —
+    /// piece executors call this with the **in-piece** index, which
+    /// [`RunnerError::in_piece`] later lifts to a global one.
+    #[must_use]
+    pub fn at_index(mut self, index: usize) -> Self {
+        if self.index.is_none() {
+            self.index = Some(index);
+        }
+        self
+    }
+
+    /// Lifts an attached in-piece index to the global one (adding the
+    /// piece's offset) and records the piece's fold key — what the
+    /// sweep fold applies to every piece error.
+    #[must_use]
+    pub fn in_piece(mut self, offset: usize, key: &str) -> Self {
+        if let Some(i) = self.index {
+            self.index = Some(offset + i);
+        }
+        if self.key.is_none() && !key.is_empty() {
+            self.key = Some(key.to_string());
+        }
+        self
+    }
+
+    /// The failing scenario's global workload index, when attached.
+    #[must_use]
+    pub fn index(&self) -> Option<usize> {
+        self.index
     }
 }
 
 impl fmt::Display for RunnerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "scenario execution failed: {}", self.0)
+        write!(f, "scenario execution failed")?;
+        if let Some(index) = self.index {
+            write!(f, " at global index {index}")?;
+            if let Some(key) = &self.key {
+                write!(f, " [{key}]")?;
+            }
+        }
+        write!(f, ": {}", self.msg)
     }
 }
 
@@ -31,13 +84,13 @@ impl std::error::Error for RunnerError {}
 
 impl From<SimError> for RunnerError {
     fn from(e: SimError) -> Self {
-        RunnerError(e.to_string())
+        RunnerError::new(e.to_string())
     }
 }
 
 impl From<CoreError> for RunnerError {
     fn from(e: CoreError) -> Self {
-        RunnerError(e.to_string())
+        RunnerError::new(e.to_string())
     }
 }
 
@@ -69,6 +122,14 @@ pub struct AlgorithmExecutor<'a> {
     algorithm: &'a dyn RendezvousAlgorithm,
     schedules: RwLock<BTreeMap<u64, Arc<Schedule>>>,
     plans: RwLock<BTreeMap<(u64, NodeId), Arc<FlatPlan>>>,
+    plan_stats: Option<PlanCacheStats>,
+}
+
+/// Plan-cache hit/miss counters (attached via
+/// [`AlgorithmExecutor::with_metrics`]).
+struct PlanCacheStats {
+    hits: Counter,
+    misses: Counter,
 }
 
 impl<'a> AlgorithmExecutor<'a> {
@@ -79,7 +140,25 @@ impl<'a> AlgorithmExecutor<'a> {
             algorithm,
             schedules: RwLock::new(BTreeMap::new()),
             plans: RwLock::new(BTreeMap::new()),
+            plan_stats: None,
         }
+    }
+
+    /// Attaches plan-cache hit/miss counters from `metrics`.
+    ///
+    /// Counting is race-proof: a **miss** is counted exactly where the
+    /// entry is inserted (once per key, no matter how many threads
+    /// compiled concurrently), a **hit** everywhere a compiled plan is
+    /// reused — including the write-lock race loser — so
+    /// `hits + misses` equals accesses and a parallel sweep reports the
+    /// same counters as a sequential one.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: &Metrics) -> Self {
+        self.plan_stats = Some(PlanCacheStats {
+            hits: metrics.counter(Scope::Process, "plan_cache_hits"),
+            misses: metrics.counter(Scope::Process, "plan_cache_misses"),
+        });
+        self
     }
 
     /// The compiled schedule for `label_value`, memoized across scenarios.
@@ -116,6 +195,9 @@ impl<'a> AlgorithmExecutor<'a> {
     pub fn plan(&self, label_value: u64, start: NodeId) -> Result<Arc<FlatPlan>, RunnerError> {
         let key = (label_value, start);
         if let Some(p) = self.plans.read().expect("plan cache poisoned").get(&key) {
+            if let Some(stats) = &self.plan_stats {
+                stats.hits.inc();
+            }
             return Ok(Arc::clone(p));
         }
         let schedule = self.schedule(label_value)?;
@@ -125,7 +207,22 @@ impl<'a> AlgorithmExecutor<'a> {
             start,
         ));
         let mut cache = self.plans.write().expect("plan cache poisoned");
-        Ok(Arc::clone(cache.entry(key).or_insert(compiled)))
+        match cache.entry(key) {
+            Entry::Occupied(entry) => {
+                // Another thread compiled first: this access still
+                // reuses a cached plan, so it counts as a hit.
+                if let Some(stats) = &self.plan_stats {
+                    stats.hits.inc();
+                }
+                Ok(Arc::clone(entry.get()))
+            }
+            Entry::Vacant(slot) => {
+                if let Some(stats) = &self.plan_stats {
+                    stats.misses.inc();
+                }
+                Ok(Arc::clone(slot.insert(compiled)))
+            }
+        }
     }
 
     /// Number of distinct labels compiled so far (cache size).

@@ -1,7 +1,9 @@
 //! The parallel batch executor.
 
 use crate::{Executor, PieceExecutor, RunnerError, Scenario, SweepReport, Workload};
+use rendezvous_telemetry::{Metrics, Scope, Stopwatch};
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 
 /// Executes workload sweeps (and generic per-item jobs) sequentially or
 /// across OS threads.
@@ -12,9 +14,15 @@ use std::num::NonZeroUsize;
 /// run of the same workload — asserted by the determinism property tests
 /// in `tests/` and by the `--parallel`/`--sequential` toggle of the
 /// `experiments` binary.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// A [`Metrics`] sink may be attached ([`Runner::with_metrics`]); it
+/// observes the sweep (scenarios executed, pieces completed, per-piece
+/// wall time, live progress) without ever entering the fold — a sweep
+/// with a sink produces byte-identical reports to one without.
+#[derive(Debug, Clone)]
 pub struct Runner {
     threads: usize,
+    metrics: Option<Arc<Metrics>>,
 }
 
 impl Runner {
@@ -23,7 +31,21 @@ impl Runner {
     pub fn with_threads(threads: usize) -> Self {
         Runner {
             threads: threads.max(1),
+            metrics: None,
         }
+    }
+
+    /// Attaches a telemetry sink observing this runner's sweeps.
+    #[must_use]
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached telemetry sink, if any.
+    #[must_use]
+    pub fn metrics(&self) -> Option<&Arc<Metrics>> {
+        self.metrics.as_ref()
     }
 
     /// A strictly sequential runner.
@@ -119,7 +141,7 @@ impl Runner {
         scenarios: &[Scenario],
     ) -> Result<Vec<crate::ScenarioOutcome>, RunnerError> {
         self.map((0..scenarios.len()).collect(), |_, i| {
-            executor.run(&scenarios[i])
+            executor.run(&scenarios[i]).map_err(|e| e.at_index(i))
         })
         .into_iter()
         .collect()
@@ -190,14 +212,34 @@ impl Runner {
         E: PieceExecutor + ?Sized,
     {
         let pieces = workload.pieces(lo, hi);
+        let telemetry = self.metrics.as_deref();
+        if let Some(metrics) = telemetry {
+            metrics.progress().add_planned(hi - lo, pieces.len());
+        }
         let inner = if self.is_parallel() && pieces.len() > 1 {
             Runner::sequential()
         } else {
-            *self
+            self.clone()
         };
         let results = self.map(pieces, |_, piece| {
-            executor
-                .run_piece(&inner, &piece)
+            let watch = telemetry.map(|_| Stopwatch::start());
+            let result = executor.run_piece(&inner, &piece);
+            if let Some(metrics) = telemetry {
+                if let Some(watch) = &watch {
+                    metrics
+                        .histogram("piece_wall_ns")
+                        .record_ns(watch.elapsed_ns());
+                }
+                if result.is_ok() {
+                    metrics
+                        .counter(Scope::Scenario, "scenarios_executed")
+                        .add_count(piece.scenarios.len());
+                    metrics.counter(Scope::Process, "pieces_completed").inc();
+                }
+                metrics.progress().piece_done(piece.scenarios.len());
+            }
+            result
+                .map_err(|e| e.in_piece(piece.offset, piece.key))
                 .map(|(outcomes, bounds)| (piece, outcomes, bounds))
         });
         let mut report = SweepReport::default();

@@ -106,14 +106,26 @@ fn parse_input(input: TokenStream) -> Input {
     }
 }
 
-/// Splits a delimited group's tokens on top-level commas.
+/// Splits a delimited group's tokens on top-level commas. Angle
+/// brackets are tracked so commas inside generic field types
+/// (`BTreeMap<String, u64>`) don't split — proc-macro token trees
+/// don't group `<…>`, only `(…)`/`[…]`/`{…}`.
 fn split_commas(group: &proc_macro::Group) -> Vec<Vec<TokenTree>> {
     let mut out: Vec<Vec<TokenTree>> = vec![Vec::new()];
+    let mut angle_depth = 0usize;
     for t in group.stream() {
         match &t {
-            TokenTree::Punct(p) if p.as_char() == ',' => out.push(Vec::new()),
-            _ => out.last_mut().expect("non-empty").push(t),
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                out.push(Vec::new());
+                continue;
+            }
+            _ => {}
         }
+        out.last_mut().expect("non-empty").push(t);
     }
     out.retain(|part| !part.is_empty());
     out
