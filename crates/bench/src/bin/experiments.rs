@@ -5,9 +5,10 @@
 //! ```text
 //! experiments [all|x1|x2|...|x11]... [--topo] [--quick] [--json]
 //!             [--sequential|--parallel] [--engine stepped|batched]
-//!             [--progress] [--telemetry FILE]
+//!             [--progress] [--telemetry FILE] [--plan]
 //!             [--shard i/m [--emit-shard]] [--merge-shards FILE...]
 //!             [--spawn-shards m]
+//!             [--fabric workers=N [--fabric-checkpoint FILE] [--fabric-kill-one]]
 //! ```
 //!
 //! `--quick` shrinks the sweeps (used by CI); the default parameters are
@@ -64,6 +65,26 @@
 //! `--telemetry` with `--merge-shards` is rejected — a merge replays
 //! recorded sweeps and executes nothing, so its sidecar would be
 //! vacuously empty.
+//!
+//! # Distributed fabric
+//!
+//! `--fabric workers=N` runs the selection on the coordinator/worker
+//! fabric (`rendezvous-fabric`): the driver starts a loopback
+//! coordinator, re-execs itself `N` times with the internal
+//! `--fabric-worker ADDR` flag, and workers *pull* small lease-sized
+//! ranges of every sweep instead of owning fixed stride shards — so
+//! uneven pieces balance themselves, and a worker that dies mid-piece
+//! (heartbeat silence or a dropped connection) has its in-flight ranges
+//! requeued to the survivors. The merged output is byte-identical to
+//! the direct run; CI diffs it — with and without a SIGKILL'd worker —
+//! on every push. `--fabric-checkpoint FILE` appends one JSONL record
+//! per completed range, and a rerun against the same file re-executes
+//! zero completed ranges (`--fabric-kill-one` is the chaos switch CI
+//! uses: worker 0 SIGKILLs itself after its first completed lease).
+//!
+//! `--plan` is the zero-cost preview: one line per sweep — fingerprint,
+//! capped size, piece count (the fabric's chunking input) — with no
+//! scenario executed.
 //!
 //! # Topology sweeps
 //!
@@ -249,6 +270,120 @@ fn spawn_shards(
     (merged, snapshot)
 }
 
+/// Runs the selection on the distributed fabric: starts the loopback
+/// coordinator, re-execs this binary `workers` times in
+/// `--fabric-worker` mode, waits for every worker process, and returns
+/// the coordinator's merged per-sweep ledger plus the workers' merged
+/// telemetry (delivered over the socket in their `Finished` frames).
+///
+/// A worker that exits abnormally while the run still completes is a
+/// *survived* fault — its leases were reassigned — and is only noted on
+/// stderr; the run fails only if ranges remain unfinished or the
+/// coordinator recorded a protocol/checkpoint error.
+fn run_fabric(
+    workers: usize,
+    passthrough: &[String],
+    progress: bool,
+    checkpoint: Option<&str>,
+    kill_one: bool,
+) -> (
+    sharding::MergedLedger,
+    TelemetrySnapshot,
+    rendezvous_fabric::FabricStats,
+) {
+    use rendezvous_fabric as fab;
+    let resume = match checkpoint {
+        Some(path) => fab::checkpoint::load(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("cannot resume fabric run: {e}");
+            std::process::exit(1);
+        }),
+        None => Vec::new(),
+    };
+    let server = fab::FabricServer::start(fab::ServerConfig {
+        coordinator: fab::CoordinatorConfig {
+            workers,
+            chunk: 0,
+            lease_timeout_ms: 5_000,
+        },
+        checkpoint: checkpoint.map(std::path::PathBuf::from),
+        resume,
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("cannot start fabric coordinator: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.addr().to_string();
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("cannot locate own binary: {e}");
+        std::process::exit(1);
+    });
+    let hub = ProgressHub::new(workers);
+    let mut pumps: Vec<StderrPump> = Vec::with_capacity(workers);
+    let children: Vec<std::process::Child> = (0..workers)
+        .map(|i| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.args(passthrough)
+                .arg("--fabric-worker")
+                .arg(&addr)
+                .stdout(std::process::Stdio::null())
+                .stderr(std::process::Stdio::piped());
+            if progress {
+                cmd.arg("--progress-stream");
+            }
+            if kill_one && i == 0 {
+                cmd.arg("--fabric-self-kill");
+            }
+            let mut child = cmd.spawn().unwrap_or_else(|e| {
+                eprintln!("cannot spawn fabric worker {i}: {e}");
+                std::process::exit(1);
+            });
+            let stderr = child.stderr.take().expect("worker stderr is piped");
+            pumps.push(StderrPump::pump(stderr, &hub, i));
+            child
+        })
+        .collect();
+    let reporter = progress.then(|| ProgressReporter::aggregate(&hub));
+    let statuses: Vec<std::io::Result<std::process::ExitStatus>> =
+        children.into_iter().map(|mut c| c.wait()).collect();
+    let drained: Vec<(String, Option<TelemetrySnapshot>)> =
+        pumps.into_iter().map(StderrPump::finish).collect();
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
+    match server.join() {
+        Ok(outcome) => {
+            for (i, status) in statuses.iter().enumerate() {
+                match status {
+                    Ok(s) if s.success() => {}
+                    Ok(s) => eprintln!(
+                        "fabric worker {i} exited abnormally ({s}); its leases were reassigned"
+                    ),
+                    Err(e) => eprintln!("cannot join fabric worker {i}: {e}"),
+                }
+            }
+            let records: Vec<sharding::LedgerRecord> = outcome
+                .sweeps
+                .into_iter()
+                .map(|(meta, report)| sharding::LedgerRecord::new(meta, report))
+                .collect();
+            let merged = sharding::MergedLedger {
+                records,
+                source: format!("fabric coordinator ({workers} workers)"),
+            };
+            (merged, outcome.telemetry, outcome.stats)
+        }
+        Err(e) => {
+            eprintln!("fabric run failed: {e}");
+            for (i, status) in statuses.iter().enumerate() {
+                if !matches!(status, Ok(s) if s.success()) {
+                    eprintln!("fabric worker {i} diagnostics:\n{}", drained[i].0);
+                }
+            }
+            std::process::exit(1);
+        }
+    }
+}
+
 /// Writes the sidecar document (exact sections sorted, wall-clock data
 /// quarantined) to `path`.
 fn write_sidecar(path: &str, snapshot: &TelemetrySnapshot) {
@@ -273,6 +408,12 @@ fn main() {
     let mut shard: Option<(usize, usize)> = None;
     let mut spawn: Option<usize> = None;
     let mut merge_files: Option<Vec<String>> = None;
+    let mut plan = false;
+    let mut fabric_workers: Option<usize> = None;
+    let mut fabric_worker_addr: Option<String> = None;
+    let mut fabric_checkpoint: Option<String> = None;
+    let mut fabric_kill_one = false;
+    let mut fabric_self_kill = false;
     let mut wanted: Vec<String> = Vec::new();
     // Args minus the --spawn-shards directive itself: what each spawned
     // child re-runs (with its --shard i/m appended).
@@ -354,6 +495,53 @@ fn main() {
                 merge_files = Some(iter.by_ref().collect());
                 continue;
             }
+            // Not forwarded: workers get --fabric-worker ADDR instead.
+            "--fabric" => {
+                let spec = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--fabric requires workers=N"));
+                let count = spec
+                    .strip_prefix("workers=")
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|&n| n > 0);
+                match count {
+                    Some(n) => fabric_workers = Some(n),
+                    None => usage_error(&format!(
+                        "--fabric expects workers=N with N > 0, got `{spec}`"
+                    )),
+                }
+                continue;
+            }
+            // Internal (fabric-worker) flag: pull leases from ADDR.
+            "--fabric-worker" => {
+                fabric_worker_addr = Some(
+                    iter.next()
+                        .unwrap_or_else(|| usage_error("--fabric-worker requires an address")),
+                );
+                continue;
+            }
+            // Driver-side only: the coordinator owns the checkpoint file.
+            "--fabric-checkpoint" => {
+                fabric_checkpoint =
+                    Some(iter.next().unwrap_or_else(|| {
+                        usage_error("--fabric-checkpoint requires a file path")
+                    }));
+                continue;
+            }
+            "--fabric-kill-one" => {
+                fabric_kill_one = true;
+                forward = false;
+            }
+            // Internal chaos hook, set by the driver on worker 0 under
+            // --fabric-kill-one.
+            "--fabric-self-kill" => {
+                fabric_self_kill = true;
+                forward = false;
+            }
+            "--plan" => {
+                plan = true;
+                forward = false;
+            }
             other if other.starts_with("--") => {
                 usage_error(&format!("unknown flag: {other}"));
             }
@@ -385,6 +573,30 @@ fn main() {
              sweeps and executes nothing, so the sidecar would be vacuously empty",
         );
     }
+    // One execution topology per invocation: the fabric, the shard
+    // machinery, and the plan dry-run are mutually exclusive modes.
+    let sharded = shard.is_some() || emit_shard || spawn.is_some() || merge_files.is_some();
+    if fabric_workers.is_some() && (sharded || fabric_worker_addr.is_some()) {
+        usage_error("--fabric cannot be combined with --shard/--spawn-shards/--merge-shards");
+    }
+    if fabric_worker_addr.is_some() && sharded {
+        usage_error("--fabric-worker cannot be combined with the shard flags");
+    }
+    if (fabric_checkpoint.is_some() || fabric_kill_one) && fabric_workers.is_none() {
+        usage_error("--fabric-checkpoint/--fabric-kill-one require --fabric workers=N");
+    }
+    if fabric_kill_one && fabric_workers.is_some_and(|n| n < 2) {
+        usage_error("--fabric-kill-one needs workers=2 or more to have survivors");
+    }
+    if fabric_self_kill && fabric_worker_addr.is_none() {
+        usage_error("--fabric-self-kill is internal to fabric workers");
+    }
+    if plan && (sharded || fabric_workers.is_some() || fabric_worker_addr.is_some()) {
+        usage_error("--plan executes nothing and cannot combine with shard or fabric modes");
+    }
+    if plan && telemetry_path.is_some() {
+        usage_error("--telemetry with --plan would write a vacuously empty sidecar");
+    }
     // `all` stays x1..x9: the topology sweeps (x10/x11) are the heaviest
     // tables and are selected explicitly. `--topo` is a selector — alone
     // it runs just x10; next to ids (or `all`) it adds x10 to them. An
@@ -404,12 +616,18 @@ fn main() {
         wanted.push("x10".into());
     }
     // Telemetry session: installed only in processes that *execute*
-    // sweeps. The spawn driver replays its children's merged ledger, so
-    // observability flags translate into child stream flags instead of
-    // a local sink; a spawned child always has the stream flags.
+    // sweeps. The spawn and fabric drivers replay their children's
+    // merged ledgers, so observability flags translate into child
+    // stream flags instead of a local sink; a spawned child always has
+    // the stream flags, and a fabric worker always installs a sink —
+    // its snapshot rides the socket in its `Finished` frame.
     let wants_local_telemetry = progress_stream
         || telemetry_stream
-        || (spawn.is_none() && (progress || telemetry_path.is_some()));
+        || fabric_worker_addr.is_some()
+        || (spawn.is_none()
+            && fabric_workers.is_none()
+            && !plan
+            && (progress || telemetry_path.is_some()));
     let session = wants_local_telemetry.then(telemetry::install);
     let mut runner = if sequential {
         Runner::sequential()
@@ -419,14 +637,18 @@ fn main() {
     if let Some(metrics) = &session {
         runner = runner.with_metrics(Arc::clone(metrics));
     }
+    // Fabric workers and plan runs suppress ordinary emission exactly
+    // like shard runs: their rows are partial (or absent), so stdout
+    // carries only the mode's own stream (nothing for a worker, the
+    // plan lines for --plan).
     let cfg = Config {
         quick,
         json,
-        emit_shard,
+        emit_shard: emit_shard || fabric_worker_addr.is_some() || plan,
         runner,
     };
 
-    // The spawn driver's merged child snapshot (written after the
+    // The spawn/fabric drivers' merged child snapshot (written after the
     // replayed render below, so a failed replay never leaves a sidecar).
     let mut spawned_snapshot: Option<TelemetrySnapshot> = None;
     if let Some((i, m)) = shard {
@@ -435,6 +657,29 @@ fn main() {
         let (merged, snapshot) = spawn_shards(m, &passthrough, progress, telemetry_path.is_some());
         spawned_snapshot = snapshot;
         sharding::begin_replay(merged.records, merged.source);
+    } else if let Some(m) = fabric_workers {
+        let (merged, snapshot, stats) = run_fabric(
+            m,
+            &passthrough,
+            progress,
+            fabric_checkpoint.as_deref(),
+            fabric_kill_one,
+        );
+        if stats.reassigned > 0 || stats.duplicates > 0 || stats.resumed > 0 {
+            eprintln!(
+                "fabric: {} range(s) reassigned, {} duplicate result(s) discarded, \
+                 {} range(s) resumed from checkpoint",
+                stats.reassigned, stats.duplicates, stats.resumed
+            );
+        }
+        if telemetry_path.is_some() {
+            spawned_snapshot = Some(snapshot);
+        }
+        sharding::begin_replay(merged.records, merged.source);
+    } else if let Some(addr) = &fabric_worker_addr {
+        fabric::begin_worker(addr, fabric_self_kill);
+    } else if plan {
+        plan::enable();
     } else if let Some(files) = &merge_files {
         let emissions: Vec<sharding::ShardEmission> = files
             .iter()
@@ -485,8 +730,14 @@ fn main() {
             "{}",
             serde_json::to_string_pretty(&emission).expect("serializable ledger")
         );
-    } else if spawn.is_some() || merge_files.is_some() {
+    } else if spawn.is_some() || merge_files.is_some() || fabric_workers.is_some() {
         sharding::finish_replay();
+    }
+    // A fabric worker's last act: deliver its telemetry snapshot over
+    // the socket and half-close, letting the coordinator's handler see
+    // a clean end of conversation.
+    if fabric_worker_addr.is_some() {
+        fabric::finish_worker();
     }
     // Telemetry emission, after every exact byte of output is out: the
     // final `@telemetry` protocol line for a parent driver, the sidecar

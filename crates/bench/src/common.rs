@@ -58,7 +58,9 @@ pub fn adversarial_grid(
 /// experiments binary: the pair grids of X1–X8 ([`sweep_worst`]), the
 /// gathering fleet grids of X9, and the topology sweeps of X10/X11 all
 /// run through it, so `--shard`/`--merge-shards`/`--spawn-shards` ride
-/// one code path for every experiment.
+/// one code path for every experiment — as do the fabric worker mode
+/// (lease-ranged execution via [`crate::fabric`]) and the `--plan` dry
+/// run (describe, don't execute, via [`crate::plan`]).
 ///
 /// # Panics
 ///
@@ -77,6 +79,14 @@ where
     E: PieceExecutor + ?Sized,
 {
     let meta = workload.meta();
+    // `--plan` dry run: describe the sweep, execute nothing. The empty
+    // report is safe downstream for the same reason empty shard folds
+    // are — every experiment tolerates partial stats, and emission is
+    // suppressed in plan mode.
+    if crate::plan::active() {
+        crate::plan::note(context, &meta, workload.pieces(0, workload.size()).len());
+        return SweepReport::default();
+    }
     // Sweeps *executed* here (Full and Shard plans); a replayed record
     // stands in for execution, so it deliberately counts nothing.
     let count_sweep = || {
@@ -84,6 +94,14 @@ where
             metrics.counter(Scope::Process, "sweeps").inc();
         }
     };
+    // Fabric worker: pull lease ranges from the coordinator instead of
+    // sweeping `[0, size())`. The returned report is this worker's own
+    // partial merge (possibly empty on a checkpoint resume), so the
+    // whole-sweep non-emptiness check does not apply.
+    if let Some(report) = crate::fabric::sweep_via_fabric(context, workload, executor, runner) {
+        count_sweep();
+        return report;
+    }
     let report = match crate::sharding::plan_sweep(&meta) {
         crate::sharding::SweepPlan::Full => {
             count_sweep();

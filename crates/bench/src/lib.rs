@@ -28,6 +28,8 @@
 
 pub mod common;
 pub mod engine;
+pub mod fabric;
+pub mod plan;
 pub mod sharding;
 pub mod telemetry;
 pub mod x10_topologies;

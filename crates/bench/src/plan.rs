@@ -1,0 +1,39 @@
+//! `--plan` dry-run mode: enumerate every sweep's shape without
+//! executing a single scenario.
+//!
+//! Like the shard and fabric sessions, plan mode is a process-global
+//! the CLI enables before any experiment runs. With it active,
+//! [`sweep_recorded`](crate::common::sweep_recorded) prints one line
+//! per sweep — its position in the sweep sequence, its context, its
+//! workload fingerprint, and its piece count — and returns an empty
+//! report. This is exactly the information the fabric coordinator
+//! chunks from (fingerprint + capped size), so `--plan` answers "what
+//! would `--fabric` be scheduling?" before committing any compute; it
+//! is also a quick standalone census of a selection's total work.
+
+use rendezvous_runner::WorkloadMeta;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static CURSOR: AtomicUsize = AtomicUsize::new(0);
+
+/// Turns plan mode on for the rest of the process.
+pub fn enable() {
+    ACTIVE.store(true, Ordering::SeqCst);
+}
+
+/// True when the CLI enabled `--plan`.
+#[must_use]
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::SeqCst)
+}
+
+/// Prints one sweep's plan line (stdout — the plan *is* the output in
+/// this mode) and advances the sweep cursor.
+pub fn note(context: &str, meta: &WorkloadMeta, pieces: usize) {
+    let sweep = CURSOR.fetch_add(1, Ordering::SeqCst);
+    println!(
+        "plan: sweep #{sweep}: {context} kind={} full_size={} size={} pieces={pieces}",
+        meta.kind, meta.full_size, meta.size
+    );
+}

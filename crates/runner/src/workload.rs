@@ -35,6 +35,7 @@
 use crate::grid::strided;
 use crate::topo::TopoEntry;
 use crate::{Bounds, Runner, RunnerError, Scenario, ScenarioOutcome};
+use serde::{Deserialize, Serialize};
 
 /// A contiguous run of one workload's units sharing a single context —
 /// what [`Runner::sweep`](crate::Runner::sweep) hands to the executor.
@@ -59,8 +60,10 @@ pub struct WorkPiece<'w> {
 
 /// Which kind of workload produced a sweep — the discriminant shard
 /// ledgers store so replay can detect a record that came from a
-/// different sweep sequence.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// different sweep sequence. Serializable: the fabric's lease protocol
+/// sends it over the wire so coordinator and workers can agree they are
+/// sweeping the same space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum WorkloadKind {
     /// A scenario [`Grid`](crate::Grid) on one graph (pair or fleet mode).
     Grid,
@@ -80,8 +83,11 @@ impl std::fmt::Display for WorkloadKind {
 /// A workload's self-description: its kind plus the two sizes that
 /// fingerprint the swept space (pre-cap and post-cap). Shard ledgers
 /// record this next to each partial fold so a merge or replay against a
-/// *different* sweep sequence fails loudly instead of folding garbage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// *different* sweep sequence fails loudly instead of folding garbage;
+/// the fabric's lease protocol carries it in every work request so a
+/// coordinator never hands out ranges of a space the worker is not
+/// actually enumerating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkloadMeta {
     /// What kind of workload this is.
     pub kind: WorkloadKind,
@@ -142,6 +148,27 @@ pub trait Workload: Sync {
         );
         let len = self.size();
         (strided(shard, len, of), strided(shard + 1, len, of))
+    }
+
+    /// Cuts the global index space `[0, size())` into contiguous lease
+    /// ranges of at most `chunk` units — the fabric coordinator's
+    /// dispatch granularity. Unlike [`Workload::shard`]'s fixed balanced
+    /// partition, these small ranges are handed out dynamically, so
+    /// wildly uneven pieces (a topology sweep mixing tiny rings with
+    /// dense tori) balance themselves across however many workers pull
+    /// them. Any contiguous ordered partition merges back byte-identically
+    /// ([`SweepReport::merge`](crate::SweepReport::merge) is associative),
+    /// so the chunk size is purely a scheduling knob.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk == 0`.
+    fn lease_ranges(&self, chunk: usize) -> Vec<(usize, usize)> {
+        assert!(chunk > 0, "lease chunks must hold at least one unit");
+        let len = self.size();
+        (0..len.div_ceil(chunk))
+            .map(|i| (i * chunk, ((i + 1) * chunk).min(len)))
+            .collect()
     }
 }
 
@@ -210,5 +237,55 @@ impl PieceExecutor for Bounded<'_> {
         runner
             .outcomes(self.executor, &piece.scenarios)
             .map(|o| (o, self.bounds))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Index-space-only stand-in: `lease_ranges` touches nothing but
+    /// `size()`.
+    struct Sized(usize);
+
+    impl Workload for Sized {
+        fn size(&self) -> usize {
+            self.0
+        }
+        fn meta(&self) -> WorkloadMeta {
+            WorkloadMeta {
+                kind: WorkloadKind::Grid,
+                full_size: self.0,
+                size: self.0,
+            }
+        }
+        fn pieces(&self, _lo: usize, _hi: usize) -> Vec<WorkPiece<'_>> {
+            unreachable!("lease_ranges never enumerates pieces")
+        }
+    }
+
+    #[test]
+    fn lease_ranges_tile_the_index_space_in_order() {
+        assert_eq!(
+            Sized(10).lease_ranges(3),
+            vec![(0, 3), (3, 6), (6, 9), (9, 10)]
+        );
+        assert_eq!(Sized(9).lease_ranges(3), vec![(0, 3), (3, 6), (6, 9)]);
+        assert_eq!(Sized(4).lease_ranges(100), vec![(0, 4)]);
+        assert_eq!(Sized(0).lease_ranges(5), Vec::<(usize, usize)>::new());
+        // Contiguity and coverage, the property `SweepReport::merge`
+        // relies on.
+        let ranges = Sized(173).lease_ranges(7);
+        assert_eq!(ranges[0].0, 0);
+        assert_eq!(ranges.last().unwrap().1, 173);
+        for pair in ranges.windows(2) {
+            assert_eq!(pair[0].1, pair[1].0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_sized_lease_chunks_are_refused() {
+        let _ = Sized(10).lease_ranges(0);
     }
 }
