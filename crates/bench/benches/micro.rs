@@ -316,6 +316,56 @@ fn batch_solving(c: &mut Criterion) {
     });
 }
 
+/// The result store's economics: what a full report costs to push
+/// through a store entry and back (serialize, atomic write, read,
+/// parse, fingerprint check), and what a cache *hit* costs against the
+/// sweep computation it replaces — the ratio that makes `--store` a
+/// win on every warm rerun.
+fn store_paths(c: &mut Criterion) {
+    use rendezvous_bench::common::{standard_delays, standard_label_pairs};
+    use rendezvous_core::Cheap;
+    use rendezvous_runner::{AlgorithmExecutor, Bounded, Bounds, Grid, Runner, Workload};
+    use rendezvous_store::{Store, StoreKey};
+    let g = Arc::new(generators::oriented_ring(12).unwrap());
+    let ex: Arc<dyn Explorer> = Arc::new(OrientedRingExplorer::new(g.clone()).unwrap());
+    let e = ex.bound() as u64;
+    let alg = Cheap::new(g.clone(), ex, LabelSpace::new(8).unwrap());
+    let grid = Grid::new(alg.time_bound())
+        .label_pairs_both_orders(&standard_label_pairs(8))
+        .delays(&standard_delays(e))
+        .all_start_pairs(&g);
+    let bounds = Some(Bounds {
+        time: alg.time_bound(),
+        cost: alg.cost_bound(),
+    });
+    let runner = Runner::sequential();
+    let executor = AlgorithmExecutor::new(&alg);
+    let bounded = Bounded::new(&executor, bounds);
+    let report = runner.sweep(&grid, &bounded).unwrap();
+    let dir = std::env::temp_dir().join(format!("rendezvous-store-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    let meta = grid.meta();
+    let key = StoreKey::new("bench cheap", &meta, "stepped");
+    c.bench_function("store/report_roundtrip", |b| {
+        b.iter(|| {
+            store
+                .save(&key, "bench cheap", "stepped", &meta, &report)
+                .unwrap();
+            black_box(store.load(&key).unwrap().executed())
+        });
+    });
+    // The warm-rerun path `--store` takes per sweep...
+    c.bench_function("store/cache_hit_vs_compute", |b| {
+        b.iter(|| black_box(store.load(&key).unwrap().executed()));
+    });
+    // ...and the cold computation it replaces.
+    c.bench_function("store/sweep_compute_baseline", |b| {
+        b.iter(|| black_box(runner.sweep(&grid, &bounded).unwrap().executed()));
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Samples per bench — recorded in the sidecar `meta` so the medians'
 /// stability is interpretable.
 const SAMPLE_SIZE: usize = 20;
@@ -323,7 +373,7 @@ const SAMPLE_SIZE: usize = 20;
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(SAMPLE_SIZE);
-    targets = engine_throughput, engine_occupancy, engine_flat_plan, walk_computation, label_machinery, graph_generation, topo_graph_build, batch_solving
+    targets = engine_throughput, engine_occupancy, engine_flat_plan, walk_computation, label_machinery, graph_generation, topo_graph_build, batch_solving, store_paths
 }
 
 /// Runs every group, then persists the recorded medians as

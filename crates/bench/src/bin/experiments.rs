@@ -5,10 +5,16 @@
 //! ```text
 //! experiments [all|x1|x2|...|x11]... [--topo] [--quick] [--json]
 //!             [--sequential|--parallel] [--engine stepped|batched]
-//!             [--progress] [--telemetry FILE] [--plan]
+//!             [--progress] [--telemetry FILE] [--plan] [--store DIR]
 //!             [--shard i/m [--emit-shard]] [--merge-shards FILE...]
 //!             [--spawn-shards m]
 //!             [--fabric workers=N [--fabric-checkpoint FILE] [--fabric-kill-one]]
+//! experiments serve --store DIR [--addr-file FILE]
+//!             [--engine stepped|batched] [--sequential]
+//! experiments query (--addr ADDR | --addr-file FILE)
+//!             (--token TOKEN | --grid ALGO --spec JSON --l N --cap N | --shutdown)
+//! experiments query --direct --store DIR
+//!             (--token TOKEN | --grid ALGO --spec JSON --l N --cap N)
 //! ```
 //!
 //! `--quick` shrinks the sweeps (used by CI); the default parameters are
@@ -82,9 +88,31 @@
 //! zero completed ranges (`--fabric-kill-one` is the chaos switch CI
 //! uses: worker 0 SIGKILLs itself after its first completed lease).
 //!
-//! `--plan` is the zero-cost preview: one line per sweep — fingerprint,
-//! capped size, piece count (the fabric's chunking input) — with no
-//! scenario executed.
+//! `--plan` is the zero-cost preview: one line per sweep — context,
+//! canonical workload fingerprint, piece count (the fabric's chunking
+//! input) — with no scenario executed.
+//!
+//! # Result store
+//!
+//! `--store DIR` puts a content-addressed read-through cache in front
+//! of every recorded sweep: a hit returns the stored [`SweepReport`]
+//! byte-identically and executes **zero** scenarios; a miss computes
+//! as usual (through whatever topology the run uses — `--store`
+//! composes with `--spawn-shards` and `--fabric`, the flag is
+//! forwarded to every child process so all of them skip the same
+//! cached sweeps) and writes the full report back. A warm rerun is
+//! byte-identical to the cold one, CI-checked. With `--plan` each line
+//! gains a `store=cached|miss` column. Shard/merge and fabric runs
+//! must all use the same `--store` setting (and store state): the
+//! cache changes *which* sweeps produce ledger records, so mixing
+//! cached and uncached artifacts in one merge is a diagnosed error.
+//!
+//! `experiments serve --store DIR` turns the store into a query
+//! service: length-framed JSON queries over a loopback socket (the
+//! fabric's wire discipline), answered cached-or-computed, with typed
+//! refusals for schema/fingerprint drift. `experiments query` is the
+//! client; `query --direct` computes the same answer locally, and CI
+//! byte-diffs the two.
 //!
 //! # Topology sweeps
 //!
@@ -393,8 +421,280 @@ fn write_sidecar(path: &str, snapshot: &TelemetrySnapshot) {
     });
 }
 
+/// `experiments serve`: run the sweep query service until a client
+/// sends `Shutdown`.
+fn run_serve(args: &[String]) {
+    let mut store_dir: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut sequential = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--store" => {
+                store_dir = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--store requires a directory")),
+                );
+            }
+            "--addr-file" => {
+                addr_file = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--addr-file requires a file path")),
+                );
+            }
+            "--engine" => {
+                let name = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--engine requires stepped or batched"));
+                match engine::Engine::parse(name) {
+                    Some(choice) => engine::set_engine(choice),
+                    None => usage_error(&format!(
+                        "--engine expects stepped or batched, got `{name}`"
+                    )),
+                }
+            }
+            "--sequential" => sequential = true,
+            other => usage_error(&format!("unknown serve flag: {other}")),
+        }
+    }
+    let dir = store_dir.unwrap_or_else(|| usage_error("serve requires --store DIR"));
+    let runner = if sequential {
+        Runner::sequential()
+    } else {
+        Runner::parallel()
+    };
+    let result = serve::serve(
+        std::path::Path::new(&dir),
+        addr_file.as_deref().map(std::path::Path::new),
+        &runner,
+    );
+    if let Err(e) = result {
+        eprintln!("serve failed: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// Prints a refusal and exits 3 — distinct from runtime failure (1)
+/// and usage errors (2) so CI can assert on the *kind* of refusal.
+fn query_refused(msg: &str) -> ! {
+    eprintln!("query refused: {msg}");
+    std::process::exit(3);
+}
+
+/// Renders a server reply: report JSON to stdout (byte-identical to a
+/// direct run), everything else as a refusal or stderr note.
+fn render_reply(reply: serve::Reply) {
+    match reply {
+        serve::Reply::Report {
+            cached,
+            token,
+            report,
+        } => {
+            eprintln!(
+                "query: {} {token}",
+                if cached { "cached" } else { "computed" }
+            );
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&report).expect("serializable report")
+            );
+        }
+        serve::Reply::NotCached { reason } => query_refused(&format!("not cached: {reason}")),
+        serve::Reply::SchemaMismatch { found, expected } => query_refused(&format!(
+            "schema mismatch: entry is v{found}, this build speaks v{expected}"
+        )),
+        serve::Reply::FingerprintMismatch { found, expected } => query_refused(&format!(
+            "fingerprint mismatch: entry holds {found}, its address demands {expected}"
+        )),
+        serve::Reply::BadQuery { reason } => query_refused(&format!("bad query: {reason}")),
+        serve::Reply::Bye => eprintln!("query: server shut down"),
+    }
+}
+
+/// `experiments query`: the service client (and, with `--direct`, the
+/// reference local computation CI diffs a served answer against).
+fn run_query(args: &[String]) {
+    let mut addr: Option<String> = None;
+    let mut addr_file: Option<String> = None;
+    let mut token: Option<String> = None;
+    let mut grid_algo: Option<String> = None;
+    let mut spec_json: Option<String> = None;
+    let mut l: Option<u64> = None;
+    let mut cap: Option<usize> = None;
+    let mut shutdown = false;
+    let mut direct = false;
+    let mut store_dir: Option<String> = None;
+    let mut sequential = false;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => {
+                addr = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--addr requires host:port")),
+                );
+            }
+            "--addr-file" => {
+                addr_file = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--addr-file requires a file path")),
+                );
+            }
+            "--token" => {
+                token = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--token requires a store token")),
+                );
+            }
+            "--grid" => {
+                grid_algo = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--grid requires cheap or fast")),
+                );
+            }
+            "--spec" => {
+                spec_json = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--spec requires a GraphSpec JSON value")),
+                );
+            }
+            "--l" => {
+                l = iter.next().and_then(|s| s.parse().ok());
+                if l.is_none() {
+                    usage_error("--l requires a label-space size");
+                }
+            }
+            "--cap" => {
+                cap = iter.next().and_then(|s| s.parse().ok());
+                if cap.is_none() {
+                    usage_error("--cap requires a scenario cap");
+                }
+            }
+            "--shutdown" => shutdown = true,
+            "--direct" => direct = true,
+            "--store" => {
+                store_dir = Some(
+                    iter.next()
+                        .cloned()
+                        .unwrap_or_else(|| usage_error("--store requires a directory")),
+                );
+            }
+            "--engine" => {
+                let name = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--engine requires stepped or batched"));
+                match engine::Engine::parse(name) {
+                    Some(choice) => engine::set_engine(choice),
+                    None => usage_error(&format!(
+                        "--engine expects stepped or batched, got `{name}`"
+                    )),
+                }
+            }
+            "--sequential" => sequential = true,
+            other => usage_error(&format!("unknown query flag: {other}")),
+        }
+    }
+    let grid = grid_algo.map(|algorithm| {
+        let spec_json = spec_json.unwrap_or_else(|| usage_error("--grid requires --spec JSON"));
+        let spec: rendezvous_graph::GraphSpec = serde_json::from_str(&spec_json)
+            .unwrap_or_else(|e| usage_error(&format!("--spec is not a GraphSpec: {e}")));
+        serve::Query::Grid {
+            algorithm,
+            spec,
+            l: l.unwrap_or_else(|| usage_error("--grid requires --l N")),
+            cap: cap.unwrap_or_else(|| usage_error("--grid requires --cap N")),
+        }
+    });
+    let query = match (token, grid, shutdown) {
+        (Some(token), None, false) => serve::Query::Token { token },
+        (None, Some(grid), false) => grid,
+        (None, None, true) => serve::Query::Shutdown,
+        _ => usage_error("query needs exactly one of --token, --grid, or --shutdown"),
+    };
+    if direct {
+        if shutdown {
+            usage_error("--shutdown needs a server; it cannot combine with --direct");
+        }
+        let runner = if sequential {
+            Runner::sequential()
+        } else {
+            Runner::parallel()
+        };
+        match query {
+            serve::Query::Token { token } => {
+                let dir = store_dir
+                    .unwrap_or_else(|| usage_error("query --direct --token requires --store DIR"));
+                let store = rendezvous_store::Store::open(std::path::Path::new(&dir))
+                    .unwrap_or_else(|e| {
+                        eprintln!("cannot open the result store: {e}");
+                        std::process::exit(1);
+                    });
+                match store.load_token(&token) {
+                    Ok(entry) => {
+                        eprintln!("query: cached {token}");
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&entry.report)
+                                .expect("serializable report")
+                        );
+                    }
+                    Err(miss) => query_refused(&miss.to_string()),
+                }
+            }
+            serve::Query::Grid {
+                algorithm,
+                spec,
+                l,
+                cap,
+            } => {
+                if let Some(dir) = &store_dir {
+                    store::begin(std::path::Path::new(dir));
+                }
+                let report = x10_topologies::sweep_single_spec(&algorithm, spec, l, cap, &runner)
+                    .unwrap_or_else(|| {
+                        usage_error(&format!(
+                            "unknown algorithm `{algorithm}` (expected cheap or fast)"
+                        ))
+                    });
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&report).expect("serializable report")
+                );
+            }
+            serve::Query::Shutdown => unreachable!("rejected above"),
+        }
+        return;
+    }
+    let addr = match (addr, addr_file) {
+        (Some(addr), None) => addr,
+        (None, Some(path)) => std::fs::read_to_string(&path)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|e| usage_error(&format!("cannot read --addr-file {path}: {e}"))),
+        _ => usage_error("query needs exactly one of --addr or --addr-file (or --direct)"),
+    };
+    match serve::ask(&addr, &query) {
+        Ok(reply) => render_reply(reply),
+        Err(e) => {
+            eprintln!("query failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => return run_serve(&args[1..]),
+        Some("query") => return run_query(&args[1..]),
+        _ => {}
+    }
     let mut quick = false;
     let mut json = false;
     let mut sequential = false;
@@ -414,6 +714,7 @@ fn main() {
     let mut fabric_checkpoint: Option<String> = None;
     let mut fabric_kill_one = false;
     let mut fabric_self_kill = false;
+    let mut store_dir: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
     // Args minus the --spawn-shards directive itself: what each spawned
     // child re-runs (with its --shard i/m appended).
@@ -476,6 +777,19 @@ fn main() {
                 }
                 passthrough.push(arg);
                 passthrough.push(name);
+                continue;
+            }
+            // Forwarded (flag and value): every process of a run —
+            // spawned shards, fabric workers, the driver — must open
+            // the same store so all of them skip the same cached
+            // sweeps and their ledgers/cursors stay aligned.
+            "--store" => {
+                let dir = iter
+                    .next()
+                    .unwrap_or_else(|| usage_error("--store requires a directory"));
+                store_dir = Some(dir.clone());
+                passthrough.push(arg);
+                passthrough.push(dir);
                 continue;
             }
             "--spawn-shards" => {
@@ -647,6 +961,13 @@ fn main() {
         emit_shard: emit_shard || fabric_worker_addr.is_some() || plan,
         runner,
     };
+
+    // The read-through result store, installed before any execution
+    // mode: the cache consultation happens per sweep inside
+    // `sweep_recorded`, upstream of the shard/fabric/replay machinery.
+    if let Some(dir) = &store_dir {
+        store::begin(std::path::Path::new(dir));
+    }
 
     // The spawn/fabric drivers' merged child snapshot (written after the
     // replayed render below, so a failed replay never leaves a sidecar).

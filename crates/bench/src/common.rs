@@ -87,6 +87,15 @@ where
         crate::plan::note(context, &meta, workload.pieces(0, workload.size()).len());
         return SweepReport::default();
     }
+    // Result store: a cached full report stands in for the whole sweep
+    // — zero scenarios execute, no sweep is counted, and every
+    // downstream topology (sharding, fabric, replay) is simply never
+    // consulted. Every process of a run derives the same key from the
+    // same store, so driver, shards and workers all skip the same
+    // sweeps and their cursors stay aligned.
+    if let Some(report) = crate::store::lookup(context, &meta) {
+        return report;
+    }
     // Sweeps *executed* here (Full and Shard plans); a replayed record
     // stands in for execution, so it deliberately counts nothing.
     let count_sweep = || {
@@ -97,7 +106,8 @@ where
     // Fabric worker: pull lease ranges from the coordinator instead of
     // sweeping `[0, size())`. The returned report is this worker's own
     // partial merge (possibly empty on a checkpoint resume), so the
-    // whole-sweep non-emptiness check does not apply.
+    // whole-sweep non-emptiness check does not apply — and, being
+    // partial, it must never reach the store.
     if let Some(report) = crate::fabric::sweep_via_fabric(context, workload, executor, runner) {
         count_sweep();
         return report;
@@ -117,7 +127,7 @@ where
             crate::sharding::record_sweep(crate::sharding::LedgerRecord::new(meta, report.clone()));
             // A shard of a small workload may legitimately be empty, so
             // the non-emptiness sanity check applies only to the whole
-            // space.
+            // space. Shard folds are partial: no store write-back.
             assert!(workload.size() > 0, "empty adversarial sweep for {context}");
             return report;
         }
@@ -128,6 +138,10 @@ where
         "empty adversarial sweep for {context} — misconfigured workload \
          (no label pairs, no delays, or a graph without distinct start pairs)"
     );
+    // The two full-report paths (direct execution and merged replay —
+    // the latter is how `--spawn-shards` and `--fabric` drivers see
+    // their children's work) populate the cache for the next run.
+    crate::store::record(context, &meta, &report);
     report
 }
 

@@ -30,7 +30,9 @@ pub mod common;
 pub mod engine;
 pub mod fabric;
 pub mod plan;
+pub mod serve;
 pub mod sharding;
+pub mod store;
 pub mod telemetry;
 pub mod x10_topologies;
 pub mod x11_gathering_topo;

@@ -1,0 +1,262 @@
+//! `experiments serve` — the sweep query service over a result store.
+//!
+//! The server binds a loopback TCP socket and answers length-framed
+//! JSON queries (the same wire discipline as the fabric:
+//! [`rendezvous_fabric::wire`]) against a content-addressed store
+//! directory. A query names a sweep either by its exact store token or
+//! by its defining parameters (algorithm + [`GraphSpec`] + grid
+//! shape); the answer is the full [`SweepReport`] — served from the
+//! store when the entry exists, computed (and recorded) through the
+//! ordinary sweep path on a miss. Schema or fingerprint drift in a
+//! stored entry produces a *typed refusal*, never a wrong answer: the
+//! store's read path treats every inconsistency as a miss, and the
+//! token path surfaces the miss kind verbatim.
+//!
+//! Byte-identity discipline: the compute path is
+//! [`sweep_single_spec`](crate::x10_topologies::sweep_single_spec) —
+//! the exact path `experiments query --direct` runs locally — so a
+//! served report and a direct run print identical bytes (CI diffs
+//! them on every push).
+
+use rendezvous_fabric::wire::{read_json_frame, write_json_frame};
+use rendezvous_graph::GraphSpec;
+use rendezvous_runner::{Runner, SweepReport, Workload};
+use rendezvous_store::{Miss, Store, StoreKey, SCHEMA_VERSION};
+use serde::{Deserialize, Serialize};
+use std::net::{TcpListener, TcpStream};
+use std::path::Path;
+
+/// One question to the sweep service.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Query {
+    /// Fetch a stored entry by its exact store token. Never computes:
+    /// a token alone does not describe the workload, so anything but a
+    /// clean hit is a refusal.
+    Token {
+        /// The entry's file name under the store root.
+        token: String,
+    },
+    /// One algorithm's sweep of one seeded topology —
+    /// cached-or-computed.
+    Grid {
+        /// `cheap` or `fast`.
+        algorithm: String,
+        /// The topology to sweep.
+        spec: GraphSpec,
+        /// Label-space size (`>= 2`).
+        l: u64,
+        /// Per-spec scenario sample cap (`>= 1`).
+        cap: usize,
+    },
+    /// Stop the server after a `Bye` reply.
+    Shutdown,
+}
+
+/// The service's answer to one [`Query`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Reply {
+    /// The sweep's full report.
+    Report {
+        /// `true` when the store already held the entry; `false` when
+        /// this query computed (and recorded) it.
+        cached: bool,
+        /// The store token addressing the entry.
+        token: String,
+        /// The report — byte-identical to a direct run's.
+        report: SweepReport,
+    },
+    /// Token query for an entry the store does not cleanly hold
+    /// (absent or unreadable).
+    NotCached {
+        /// The miss, verbatim.
+        reason: String,
+    },
+    /// Typed refusal: the entry was written under a different store
+    /// schema version.
+    SchemaMismatch {
+        /// The entry's schema version.
+        found: u32,
+        /// The version this server speaks.
+        expected: u32,
+    },
+    /// Typed refusal: the entry's recorded fingerprint disagrees with
+    /// the one its address demands.
+    FingerprintMismatch {
+        /// Fingerprint in the entry header.
+        found: String,
+        /// Fingerprint the token derivation expects.
+        expected: String,
+    },
+    /// The query itself is malformed (unknown algorithm, degenerate
+    /// grid, a spec that does not build).
+    BadQuery {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// Acknowledges [`Query::Shutdown`].
+    Bye,
+}
+
+/// Runs the sweep service until a [`Query::Shutdown`] arrives: opens
+/// the store at `dir` (installing the process store session so the
+/// compute path reads through and writes back), binds a loopback
+/// socket, publishes its address to `addr_file` (atomically, for
+/// pollers), and answers queries one connection at a time.
+///
+/// # Errors
+///
+/// Returns a message when the store, the socket, or the address file
+/// cannot be set up, or when `accept` itself fails; a *per-connection*
+/// failure (malformed frame, peer gone) is logged to stderr and the
+/// server keeps serving.
+pub fn serve(dir: &Path, addr_file: Option<&Path>, runner: &Runner) -> Result<(), String> {
+    crate::store::begin(dir);
+    let store = Store::open(dir).map_err(|e| format!("cannot open the result store: {e}"))?;
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| format!("cannot bind loopback: {e}"))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| format!("socket has no local address: {e}"))?
+        .to_string();
+    if let Some(path) = addr_file {
+        publish_addr(path, &addr)?;
+    }
+    eprintln!("serve: answering sweep queries on {addr}");
+    loop {
+        let (stream, peer) = listener
+            .accept()
+            .map_err(|e| format!("accept failed: {e}"))?;
+        match converse(&store, stream, runner) {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            Err(e) => eprintln!("serve: connection from {peer} failed: {e}"),
+        }
+    }
+}
+
+/// Writes the address file atomically (temp + rename), so a poller
+/// never reads a half-written address.
+fn publish_addr(path: &Path, addr: &str) -> Result<(), String> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, addr).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot publish {}: {e}", path.display()))?;
+    Ok(())
+}
+
+/// Answers every query on one connection. `Ok(true)` means a
+/// `Shutdown` was served and the whole server should exit; `Ok(false)`
+/// is the client closing cleanly.
+fn converse(store: &Store, mut stream: TcpStream, runner: &Runner) -> Result<bool, String> {
+    loop {
+        let query: Option<Query> =
+            read_json_frame(&mut stream, "a query").map_err(|e| e.to_string())?;
+        let Some(query) = query else {
+            return Ok(false);
+        };
+        let shutdown = matches!(query, Query::Shutdown);
+        let reply = answer(store, query, runner);
+        write_json_frame(&mut stream, &reply, "a reply").map_err(|e| e.to_string())?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+}
+
+fn answer(store: &Store, query: Query, runner: &Runner) -> Reply {
+    match query {
+        Query::Shutdown => Reply::Bye,
+        Query::Token { token } => match store.load_token(&token) {
+            Ok(entry) => Reply::Report {
+                cached: true,
+                token,
+                report: entry.report,
+            },
+            Err(miss) => refuse(miss),
+        },
+        Query::Grid {
+            algorithm,
+            spec,
+            l,
+            cap,
+        } => grid_reply(store, &algorithm, spec, l, cap, runner),
+    }
+}
+
+/// Maps a typed store miss onto the wire refusal of the same shape.
+fn refuse(miss: Miss) -> Reply {
+    match miss {
+        Miss::SchemaMismatch { found } => Reply::SchemaMismatch {
+            found,
+            expected: SCHEMA_VERSION,
+        },
+        Miss::FingerprintMismatch { found, expected } => {
+            Reply::FingerprintMismatch { found, expected }
+        }
+        other => Reply::NotCached {
+            reason: other.to_string(),
+        },
+    }
+}
+
+/// The cached-or-computed path: validates the query (the compute
+/// helpers panic on degenerate grids, so refusal happens here), checks
+/// the store for the entry's presence *before* sweeping (that is the
+/// `cached` flag in the reply), and runs the same
+/// [`sweep_single_spec`](crate::x10_topologies::sweep_single_spec)
+/// path a direct run uses — which itself serves from / records into
+/// the store session.
+fn grid_reply(
+    store: &Store,
+    algorithm: &str,
+    spec: GraphSpec,
+    l: u64,
+    cap: usize,
+    runner: &Runner,
+) -> Reply {
+    let Some(context) = crate::x10_topologies::serve_context(algorithm) else {
+        return Reply::BadQuery {
+            reason: format!("unknown algorithm `{algorithm}` (expected cheap or fast)"),
+        };
+    };
+    if l < 2 {
+        return Reply::BadQuery {
+            reason: format!("l must be >= 2, got {l}"),
+        };
+    }
+    if cap == 0 {
+        return Reply::BadQuery {
+            reason: "cap must be >= 1".into(),
+        };
+    }
+    if let Err(e) = spec.build() {
+        return Reply::BadQuery {
+            reason: format!("spec does not build: {e}"),
+        };
+    }
+    let (topo, _) = crate::x10_topologies::build_topo_grid(vec![spec.clone()], l, cap);
+    let key = StoreKey::new(context, &topo.meta(), crate::engine::current().name());
+    let cached = store.load(&key).is_ok();
+    let report = crate::x10_topologies::sweep_single_spec(algorithm, spec, l, cap, runner)
+        .expect("algorithm validated above");
+    Reply::Report {
+        cached,
+        token: key.token().to_string(),
+        report,
+    }
+}
+
+/// Client side: one query round-trip against a running server.
+///
+/// # Errors
+///
+/// Returns a message when the connection, the send, or the receive
+/// fails, or when the server closes without replying.
+pub fn ask(addr: &str, query: &Query) -> Result<Reply, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    write_json_frame(&mut stream, query, "a query").map_err(|e| e.to_string())?;
+    match read_json_frame(&mut stream, "a reply").map_err(|e| e.to_string())? {
+        Some(reply) => Ok(reply),
+        None => Err(format!("{addr} closed the connection without replying")),
+    }
+}

@@ -45,6 +45,10 @@ use std::sync::Mutex;
 pub enum LedgerRecord {
     /// A scenario-grid sweep (pair or fleet mode) on one graph.
     Grid {
+        /// Content digest of the swept space's defining parameters —
+        /// sizes can coincide across different grids, and this
+        /// disambiguates.
+        digest: u64,
         /// Pre-cap size of the swept grid.
         full_size: usize,
         /// Post-cap size (what a full sweep executes).
@@ -54,6 +58,8 @@ pub enum LedgerRecord {
     },
     /// A topology sweep: per-spec grids concatenated over many graphs.
     Topo {
+        /// Content digest of the spec list and per-spec grids.
+        digest: u64,
         /// Pre-cap size of the concatenated per-spec spaces (saturating
         /// sum) — post-cap totals can coincide across different spec
         /// lists or caps, and this disambiguates, exactly as for `Grid`.
@@ -70,11 +76,13 @@ impl LedgerRecord {
     pub fn new(meta: WorkloadMeta, report: SweepReport) -> LedgerRecord {
         match meta.kind {
             WorkloadKind::Grid => LedgerRecord::Grid {
+                digest: meta.digest,
                 full_size: meta.full_size,
                 size: meta.size,
                 report,
             },
             WorkloadKind::Topo => LedgerRecord::Topo {
+                digest: meta.digest,
                 full_size: meta.full_size,
                 size: meta.size,
                 report,
@@ -116,16 +124,23 @@ impl LedgerRecord {
     /// The recorded fingerprint as a [`WorkloadMeta`].
     #[must_use]
     pub fn meta(&self) -> WorkloadMeta {
-        let (kind, full_size, size) = match self {
+        let (kind, digest, full_size, size) = match self {
             LedgerRecord::Grid {
-                full_size, size, ..
-            } => (WorkloadKind::Grid, *full_size, *size),
+                digest,
+                full_size,
+                size,
+                ..
+            } => (WorkloadKind::Grid, *digest, *full_size, *size),
             LedgerRecord::Topo {
-                full_size, size, ..
-            } => (WorkloadKind::Topo, *full_size, *size),
+                digest,
+                full_size,
+                size,
+                ..
+            } => (WorkloadKind::Topo, *digest, *full_size, *size),
         };
         WorkloadMeta {
             kind,
+            digest,
             full_size,
             size,
         }
@@ -477,6 +492,7 @@ mod tests {
             });
         }
         LedgerRecord::Grid {
+            digest: 7,
             full_size: size,
             size,
             report,
@@ -495,6 +511,7 @@ mod tests {
         }
         report.groups.sort_by(|a, b| a.key.cmp(&b.key));
         LedgerRecord::Topo {
+            digest: 7,
             full_size: size,
             size,
             report,
@@ -628,6 +645,7 @@ mod tests {
             vec![
                 grid_record(5, 15),
                 LedgerRecord::Grid {
+                    digest: 7,
                     full_size: 40,
                     size: 12,
                     report: fleet_report,

@@ -180,6 +180,54 @@ pub fn build_topo_grid(
     (topo, Arc::new(explorers))
 }
 
+/// The context string naming a sweep-service computation of one
+/// algorithm (`None` for anything but `cheap`/`fast`). The context is
+/// part of the store key, so `experiments serve` and `experiments
+/// query --direct` must agree on it to address the same cache entries.
+#[must_use]
+pub fn serve_context(algorithm: &str) -> Option<&'static str> {
+    match algorithm {
+        "cheap" => Some("serve cheap"),
+        "fast" => Some("serve fast"),
+        _ => None,
+    }
+}
+
+/// Sweeps a **single** seeded topology with one algorithm through the
+/// shared recorded-sweep path — the compute side of the sweep service.
+/// A served answer and a `query --direct` run both land here with the
+/// same [`serve_context`], so they consult (and populate) the same
+/// store entry and print byte-identical reports. `None` when
+/// `algorithm` is not `cheap`/`fast`.
+///
+/// # Panics
+///
+/// Panics if the spec does not build or the grid is degenerate (`l <
+/// 2`, `cap == 0`) — the serve front end validates queries before
+/// calling, and the CLI treats its own arguments as trusted input.
+#[must_use]
+pub fn sweep_single_spec(
+    algorithm: &str,
+    spec: GraphSpec,
+    l: u64,
+    cap: usize,
+    runner: &Runner,
+) -> Option<SweepReport> {
+    let (which, context) = match algorithm {
+        "cheap" => (Algo::Cheap, "serve cheap"),
+        "fast" => (Algo::Fast, "serve fast"),
+        _ => return None,
+    };
+    let space = LabelSpace::new(l).expect("l >= 2");
+    let (topo, explorers) = build_topo_grid(vec![spec], l, cap);
+    let exec = AlgoTopoExecutor {
+        space,
+        which,
+        explorers,
+    };
+    Some(crate::common::sweep_recorded(context, &topo, &exec, runner))
+}
+
 /// Sweeps one algorithm over the topo grid through the shared
 /// [`common::sweep_recorded`](crate::common::sweep_recorded)
 /// shard/replay path, asserting the paper's bounds held everywhere.

@@ -139,9 +139,13 @@ fn plan_previews_every_sweep_without_executing_any() {
             line.starts_with(&format!("plan: sweep #{i}: ")),
             "plan lines are dense and ordered: {line:?}"
         );
-        for field in ["kind=", "full_size=", "size=", "pieces="] {
+        for field in ["fingerprint=", "pieces="] {
             assert!(line.contains(field), "missing {field}: {line:?}");
         }
+        assert!(
+            !line.contains("store="),
+            "no store column without --store: {line:?}"
+        );
     }
     // The preview is the fabric's dispatch view: same sweep count as a
     // worker's walk, no tables, no scenario execution (it returns before

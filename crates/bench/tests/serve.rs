@@ -1,0 +1,220 @@
+//! The sweep query service, end to end through the real binary: a
+//! served report must be byte-identical to a `query --direct` local
+//! run, a repeat query must be a cache hit, and damaged or mismatched
+//! store entries must come back as *typed refusals* (exit 3), never as
+//! wrong bytes.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+const SPEC: &str = r#"{"ErdosRenyi":{"n":8,"edge_permille":400,"seed":5}}"#;
+
+fn experiments(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_experiments"))
+        .args(args)
+        .output()
+        .expect("experiments binary runs")
+}
+
+fn stdout_of(args: &[&str]) -> Vec<u8> {
+    let out = experiments(args);
+    assert!(
+        out.status.success(),
+        "experiments {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "rendezvous-serve-e2e-{name}-{}",
+        std::process::id()
+    ))
+}
+
+/// A running `experiments serve` child, killed on drop so a failing
+/// assertion never leaks the process.
+struct Server {
+    child: Child,
+    addr_file: PathBuf,
+}
+
+impl Server {
+    fn start(store: &std::path::Path, addr_file: PathBuf) -> Server {
+        let _ = std::fs::remove_file(&addr_file);
+        let child = Command::new(env!("CARGO_BIN_EXE_experiments"))
+            .args([
+                "serve",
+                "--store",
+                store.to_str().unwrap(),
+                "--addr-file",
+                addr_file.to_str().unwrap(),
+            ])
+            .stdout(Stdio::null())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("serve spawns");
+        Server { child, addr_file }
+    }
+
+    /// Polls the address file the server publishes atomically. Bounded
+    /// by attempt count (~30 s), not a clock — the determinism linter
+    /// keeps `Instant` out of non-bench code, and counting suffices
+    /// for a startup race.
+    fn wait_ready(&self) -> String {
+        for _ in 0..1500 {
+            if let Ok(addr) = std::fs::read_to_string(&self.addr_file) {
+                return addr.trim().to_string();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("server never published its address");
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.addr_file);
+    }
+}
+
+#[test]
+fn served_reports_match_direct_runs_byte_for_byte() {
+    let dir = scratch("roundtrip");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut server = Server::start(&dir, scratch("roundtrip-addr"));
+    let addr = server.wait_ready();
+
+    let grid: Vec<&str> = vec![
+        "query", "--addr", &addr, "--grid", "cheap", "--spec", SPEC, "--l", "2", "--cap", "2",
+    ];
+
+    // First query computes, second is served from the store; both must
+    // print the same bytes as a fully local computation.
+    let first = experiments(&grid);
+    assert!(
+        first.status.success(),
+        "first query failed:\n{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&first.stderr).contains("query: computed"),
+        "a cold query computes"
+    );
+    let second = experiments(&grid);
+    assert!(second.status.success());
+    assert!(
+        String::from_utf8_lossy(&second.stderr).contains("query: cached"),
+        "a repeat query is a cache hit: {}",
+        String::from_utf8_lossy(&second.stderr)
+    );
+    assert_eq!(first.stdout, second.stdout, "hit and compute must agree");
+
+    let direct = stdout_of(&[
+        "query",
+        "--direct",
+        "--store",
+        dir.to_str().unwrap(),
+        "--grid",
+        "cheap",
+        "--spec",
+        SPEC,
+        "--l",
+        "2",
+        "--cap",
+        "2",
+    ]);
+    assert_eq!(
+        first.stdout, direct,
+        "served and direct runs must be byte-identical"
+    );
+
+    // The reply's token addresses the same bytes.
+    let token = String::from_utf8_lossy(&first.stderr)
+        .lines()
+        .find_map(|l| l.strip_prefix("query: computed ").map(str::to_string))
+        .expect("the client reports the token");
+    let by_token = stdout_of(&["query", "--addr", &addr, "--token", &token]);
+    assert_eq!(by_token, direct, "token lookup must return the same bytes");
+
+    // Clean shutdown: the server exits 0 on its own.
+    stdout_of(&["query", "--addr", &addr, "--shutdown"]);
+    let status = server.child.wait().expect("server exits");
+    assert!(status.success(), "server exit after shutdown: {status}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn refusals_are_typed_and_never_wrong_bytes() {
+    let dir = scratch("refuse");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let server = Server::start(&dir, scratch("refuse-addr"));
+    let addr = server.wait_ready();
+
+    let refused = |args: &[&str], needle: &str| {
+        let out = experiments(args);
+        assert_eq!(
+            out.status.code(),
+            Some(3),
+            "{args:?} must exit 3:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(out.stdout.is_empty(), "a refusal must print no report");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains(needle), "want {needle:?} in {stderr:?}");
+    };
+
+    refused(
+        &["query", "--addr", &addr, "--token", "no-such-entry"],
+        "not cached",
+    );
+    refused(
+        &[
+            "query", "--addr", &addr, "--grid", "slow", "--spec", SPEC, "--l", "2", "--cap", "2",
+        ],
+        "bad query",
+    );
+    refused(
+        &[
+            "query",
+            "--addr",
+            &addr,
+            "--grid",
+            "cheap",
+            "--spec",
+            r#"{"Ring":{"n":1}}"#,
+            "--l",
+            "2",
+            "--cap",
+            "2",
+        ],
+        "bad query",
+    );
+
+    // Populate one entry, then rewrite its schema header: the token
+    // path must refuse with the typed mismatch, not serve the entry.
+    let out = experiments(&[
+        "query", "--addr", &addr, "--grid", "fast", "--spec", SPEC, "--l", "2", "--cap", "2",
+    ]);
+    assert!(out.status.success());
+    let token = String::from_utf8_lossy(&out.stderr)
+        .lines()
+        .find_map(|l| l.strip_prefix("query: computed ").map(str::to_string))
+        .expect("the client reports the token");
+    let path = dir.join(format!("{token}.json"));
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, text.replacen("\"schema\": 1", "\"schema\": 99", 1)).unwrap();
+    refused(
+        &["query", "--addr", &addr, "--token", &token],
+        "schema mismatch",
+    );
+
+    stdout_of(&["query", "--addr", &addr, "--shutdown"]);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -147,6 +147,7 @@ mod tests {
             hi,
             meta: WorkloadMeta {
                 kind: WorkloadKind::Grid,
+                digest: 0xfeed,
                 full_size: 100,
                 size: 100,
             },

@@ -392,8 +392,8 @@ impl Coordinator {
             if state.meta != meta {
                 return Err(FabricError::MetaMismatch {
                     sweep,
-                    expected: format!("{:?}", state.meta),
-                    found: format!("{meta:?}"),
+                    expected: state.meta.fingerprint(),
+                    found: meta.fingerprint(),
                 });
             }
             return Ok(());
@@ -437,8 +437,9 @@ fn build_sweep(
     for rec in done {
         if rec.meta != meta {
             return Err(FabricError::Checkpoint(format!(
-                "sweep #{sweep}: record fingerprint {:?} disagrees with the run's {meta:?}",
-                rec.meta
+                "sweep #{sweep}: record fingerprint {} disagrees with the run's {}",
+                rec.meta.fingerprint(),
+                meta.fingerprint()
             )));
         }
         if rec.lo < cursor || rec.hi > meta.size || rec.lo >= rec.hi {

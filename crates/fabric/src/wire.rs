@@ -10,6 +10,7 @@
 
 use crate::error::WireError;
 use crate::protocol::Message;
+use serde::{Deserialize, Serialize};
 use std::io::{ErrorKind, Read, Write};
 
 /// Upper bound on a frame payload, in bytes. The largest real payload is
@@ -37,8 +38,24 @@ const MID_FRAME_TIMEOUT_BUDGET: u32 = 100;
 /// serialized message exceeds [`MAX_FRAME`] (a protocol bug, not an
 /// environmental failure).
 pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<(), WireError> {
-    let payload = serde_json::to_string(msg)
-        .map_err(|e| WireError::Malformed(format!("serialize {}: {e}", msg.tag())))?;
+    write_json_frame(w, msg, msg.tag())
+}
+
+/// Serializes any JSON-speaking value and writes it as one frame — the
+/// generic codec behind [`write_frame`], shared with the sweep service's
+/// query protocol so every framed conversation in the workspace has the
+/// same boundedness guarantees. `what` names the value in error messages.
+///
+/// # Errors
+///
+/// As [`write_frame`].
+pub fn write_json_frame<W: Write, T: Serialize>(
+    w: &mut W,
+    value: &T,
+    what: &str,
+) -> Result<(), WireError> {
+    let payload = serde_json::to_string(value)
+        .map_err(|e| WireError::Malformed(format!("serialize {what}: {e}")))?;
     let bytes = payload.as_bytes();
     if bytes.len() > MAX_FRAME {
         return Err(WireError::Oversized {
@@ -73,6 +90,21 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<(), WireError> 
 /// [`WireError::Malformed`] for payloads that are not a protocol
 /// message, [`WireError::Io`] for everything the OS refuses.
 pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Message>, WireError> {
+    read_json_frame(r, "a message")
+}
+
+/// Reads one frame of any JSON-speaking type, or observes a clean end of
+/// stream — the generic codec behind [`read_frame`], shared with the
+/// sweep service's query protocol. `what` names the expected type in the
+/// malformed-payload error.
+///
+/// # Errors
+///
+/// As [`read_frame`].
+pub fn read_json_frame<R: Read, T: Deserialize>(
+    r: &mut R,
+    what: &str,
+) -> Result<Option<T>, WireError> {
     let mut len_buf = [0u8; 4];
     if !read_full(r, &mut len_buf, true)? {
         return Ok(None);
@@ -88,11 +120,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<Message>, WireError> {
     read_full(r, &mut payload, false)?;
     let text = std::str::from_utf8(&payload)
         .map_err(|e| WireError::Malformed(format!("payload is not UTF-8: {e}")))?;
-    match serde_json::from_str::<Message>(text) {
-        Ok(msg) => Ok(Some(msg)),
-        Err(e) => Err(WireError::Malformed(format!(
-            "payload is not a message: {e}"
-        ))),
+    match serde_json::from_str::<T>(text) {
+        Ok(value) => Ok(Some(value)),
+        Err(e) => Err(WireError::Malformed(format!("payload is not {what}: {e}"))),
     }
 }
 

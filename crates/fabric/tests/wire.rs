@@ -12,6 +12,7 @@ use std::io::{Cursor, Read};
 fn meta() -> WorkloadMeta {
     WorkloadMeta {
         kind: WorkloadKind::Grid,
+        digest: 0xdead_beef,
         full_size: 1200,
         size: 600,
     }

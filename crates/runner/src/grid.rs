@@ -63,6 +63,16 @@ impl FleetRule {
         self
     }
 
+    /// Folds the rule's parameters into a workload digest — fleet grids
+    /// with different spreads enumerate different placement lists even
+    /// at equal sizes, so the rule is part of the space's identity.
+    pub(crate) fn digest_into(&self, h: &mut crate::workload::Fnv1a) {
+        h.write_usize(self.nodes);
+        h.write_u64(self.label_space);
+        h.write_u64(self.delay_stride);
+        h.write_u64(self.delay_modulus);
+    }
+
     /// The largest fleet this rule can place: every agent needs its own
     /// start node and its own label.
     #[must_use]
@@ -290,6 +300,54 @@ impl Grid {
         self
     }
 
+    /// Content digest of everything that defines this grid's scenario
+    /// list — sizes alone are not a sound identity (two grids with
+    /// different horizons or label values can enumerate equally many
+    /// units), so the [`WorkloadMeta`] fingerprint folds the actual
+    /// axes. Each axis is prefixed with its length so adjacent
+    /// variable-length axes cannot alias.
+    pub(crate) fn digest(&self) -> u64 {
+        let mut h = crate::workload::Fnv1a::new();
+        h.write_u64(self.horizon);
+        h.write_usize(self.label_pairs.len());
+        for &(a, b) in &self.label_pairs {
+            h.write_u64(a);
+            h.write_u64(b);
+        }
+        h.write_usize(self.start_pairs.len());
+        for &(a, b) in &self.start_pairs {
+            h.write_usize(a.index());
+            h.write_usize(b.index());
+        }
+        h.write_usize(self.delays.len());
+        for &d in &self.delays {
+            h.write_u64(d);
+        }
+        match self.cap {
+            Some(cap) => {
+                h.write_u64(1);
+                h.write_usize(cap);
+            }
+            None => h.write_u64(0),
+        }
+        h.write_usize(self.fleet_sizes.len());
+        for &k in &self.fleet_sizes {
+            h.write_usize(k);
+        }
+        h.write_usize(self.rotations.len());
+        for &r in &self.rotations {
+            h.write_usize(r);
+        }
+        match &self.fleet_rule {
+            Some(rule) => {
+                h.write_u64(1);
+                rule.digest_into(&mut h);
+            }
+            None => h.write_u64(0),
+        }
+        h.finish()
+    }
+
     /// Number of scenarios before any sampling cap, saturating at
     /// `usize::MAX` for product spaces too large to index (a grid that big
     /// can only ever be swept through [`Grid::sample_cap`] anyway, and the
@@ -420,6 +478,7 @@ impl Workload for Grid {
     fn meta(&self) -> WorkloadMeta {
         WorkloadMeta {
             kind: WorkloadKind::Grid,
+            digest: self.digest(),
             full_size: self.full_size(),
             size: self.size(),
         }

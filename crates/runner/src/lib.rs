@@ -85,4 +85,6 @@ pub use report::{fold_outcomes, Bounds, GroupStats, SweepReport, Witness};
 pub use runner::Runner;
 pub use scenario::{Placement, Scenario, ScenarioOutcome};
 pub use topo::{TopoEntry, TopoGrid};
-pub use workload::{Bounded, PieceExecutor, WorkPiece, Workload, WorkloadKind, WorkloadMeta};
+pub use workload::{
+    Bounded, Fnv1a, PieceExecutor, WorkPiece, Workload, WorkloadKind, WorkloadMeta,
+};

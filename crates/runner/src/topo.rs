@@ -122,8 +122,19 @@ impl Workload for TopoGrid {
     }
 
     fn meta(&self) -> WorkloadMeta {
+        // The digest folds each entry's spec identity (the derived Debug
+        // form shows every field, seeds included) plus its grid's own
+        // content digest — two spec lists that happen to enumerate the
+        // same number of scenarios still hash apart.
+        let mut h = crate::workload::Fnv1a::new();
+        h.write_usize(self.entries.len());
+        for entry in &self.entries {
+            h.write_bytes(format!("{:?}", entry.spec).as_bytes());
+            h.write_u64(entry.grid.digest());
+        }
         WorkloadMeta {
             kind: WorkloadKind::Topo,
+            digest: h.finish(),
             full_size: self
                 .entries
                 .iter()

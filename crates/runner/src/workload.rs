@@ -80,22 +80,95 @@ impl std::fmt::Display for WorkloadKind {
     }
 }
 
-/// A workload's self-description: its kind plus the two sizes that
-/// fingerprint the swept space (pre-cap and post-cap). Shard ledgers
-/// record this next to each partial fold so a merge or replay against a
-/// *different* sweep sequence fails loudly instead of folding garbage;
-/// the fabric's lease protocol carries it in every work request so a
-/// coordinator never hands out ranges of a space the worker is not
-/// actually enumerating.
+/// A workload's self-description: its kind, a content digest of the
+/// parameters that define the swept space, and the two sizes (pre-cap
+/// and post-cap). Shard ledgers record this next to each partial fold so
+/// a merge or replay against a *different* sweep sequence fails loudly
+/// instead of folding garbage; the fabric's lease protocol carries it in
+/// every work request so a coordinator never hands out ranges of a space
+/// the worker is not actually enumerating; the result store keys cached
+/// reports by it.
+///
+/// The sizes alone are *not* a sound identity — two grids on the same
+/// graph with different horizons or label values can enumerate the same
+/// number of units — which is why the `digest` folds the actual
+/// defining content (horizon, labels, starts, delays, caps, fleet axes;
+/// per-spec identities for topology sweeps).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct WorkloadMeta {
     /// What kind of workload this is.
     pub kind: WorkloadKind,
+    /// FNV-1a fold of the workload's defining parameters (see
+    /// [`Fnv1a`]); equal spaces hash equal in every process.
+    pub digest: u64,
     /// Size of the space before any sampling cap (saturating).
     pub full_size: usize,
     /// Units the workload actually yields (caps applied) — equals
     /// [`Workload::size`].
     pub size: usize,
+}
+
+impl WorkloadMeta {
+    /// The canonical printable fingerprint of this workload — the one
+    /// spelling shared by the fabric checkpoint diagnostics, the
+    /// `--plan` preview and the result store's content addresses, so a
+    /// regression in any one of them is a disagreement with the others.
+    ///
+    /// Format: `{kind}-{digest:016x}-f{full_size}-s{size}`.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}-{:016x}-f{}-s{}",
+            self.kind, self.digest, self.full_size, self.size
+        )
+    }
+}
+
+/// A streaming FNV-1a 64-bit hasher — the workspace's canonical content
+/// digest. Chosen over `std`'s `DefaultHasher` because its output is
+/// pinned by the algorithm, not by the standard library version: every
+/// process (and every future build) folds the same parameters to the
+/// same `u64`, which is what lets digests serve as cross-process cache
+/// keys and wire fingerprints.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a digest at the FNV-1a offset basis.
+    #[must_use]
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// Folds one `u64`, big-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_be_bytes());
+    }
+
+    /// Folds one `usize` (widened — never truncates).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(u64::try_from(v).expect("usize fits in u64"));
+    }
+
+    /// The digest of everything written so far.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
 }
 
 /// An index-stable, capped, shardable source of `(global index, context,
@@ -255,6 +328,7 @@ mod tests {
         fn meta(&self) -> WorkloadMeta {
             WorkloadMeta {
                 kind: WorkloadKind::Grid,
+                digest: 0,
                 full_size: self.0,
                 size: self.0,
             }
@@ -287,5 +361,30 @@ mod tests {
     #[should_panic(expected = "at least one unit")]
     fn zero_sized_lease_chunks_are_refused() {
         let _ = Sized(10).lease_ranges(0);
+    }
+
+    #[test]
+    fn fingerprint_spells_kind_digest_and_sizes() {
+        let meta = WorkloadMeta {
+            kind: WorkloadKind::Topo,
+            digest: 0xabc,
+            full_size: 48,
+            size: 17,
+        };
+        assert_eq!(meta.fingerprint(), "topo-0000000000000abc-f48-s17");
+    }
+
+    #[test]
+    fn fnv1a_matches_the_published_reference_vectors() {
+        // The digest must be pinned by the algorithm, not by the stdlib:
+        // these are the standard FNV-1a 64 test vectors.
+        let empty = Fnv1a::new();
+        assert_eq!(empty.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = Fnv1a::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x8594_4171_f739_67e8);
     }
 }

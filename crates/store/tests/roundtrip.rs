@@ -1,0 +1,71 @@
+//! The store's one inviolable property: a report that goes in comes
+//! back **byte for byte** — over arbitrary group shapes, keys and
+//! workload digests — and the on-disk entry's provenance header always
+//! re-derives the exact file it lives in.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use rendezvous_runner::{GroupStats, SweepReport, WorkloadKind, WorkloadMeta};
+use rendezvous_store::{Store, StoreKey};
+use std::path::PathBuf;
+
+fn scratch(tag: u64) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "rendezvous-store-prop-{}-{tag}",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn report_bytes_in_equal_bytes_out(
+        groups in vec((0usize..4, 0usize..500, 0u64..10_000, 0u64..64), 0..4),
+        digest in 0u64..u64::MAX,
+        full_size in 1usize..100_000,
+        tag in 0u64..1_000_000,
+    ) {
+        let keys = ["", "ring", "tree", "torus"];
+        let mut report = SweepReport::default();
+        let mut sorted = groups.clone();
+        sorted.sort_by_key(|&(k, ..)| k);
+        sorted.dedup_by_key(|&mut (k, ..)| k);
+        for (k, executed, max_time, merges) in sorted {
+            report.groups.push(GroupStats {
+                key: keys[k].to_string(),
+                executed,
+                meetings: executed / 2,
+                max_time,
+                total_time: u128::from(max_time) * executed as u128,
+                merges,
+                ..GroupStats::default()
+            });
+        }
+        let meta = WorkloadMeta {
+            kind: if digest % 2 == 0 { WorkloadKind::Grid } else { WorkloadKind::Topo },
+            digest,
+            full_size,
+            size: full_size.min(500),
+        };
+        let context = format!("prop sweep {}", digest % 7);
+        let dir = scratch(tag);
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Store::open(&dir).unwrap();
+        let key = StoreKey::new(&context, &meta, "stepped");
+
+        let before = serde_json::to_string(&report).unwrap();
+        store.save(&key, &context, "stepped", &meta, &report).unwrap();
+        let after = serde_json::to_string(&store.load(&key).unwrap()).unwrap();
+        prop_assert_eq!(&before, &after);
+
+        // The entry is self-describing: token lookup returns the same
+        // bytes, and the fsck walk finds nothing to complain about.
+        let entry = store.load_token(key.token()).unwrap();
+        prop_assert_eq!(&before, &serde_json::to_string(&entry.report).unwrap());
+        let fsck = store.verify().unwrap();
+        prop_assert!(fsck.clean());
+        prop_assert_eq!(fsck.ok, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -105,11 +105,13 @@ fn shard_ledgers_round_trip_tagged_records_byte_identically() {
         of: 3,
         records: vec![
             LedgerRecord::Grid {
+                digest: 0xabad_cafe,
                 full_size: 40,
                 size: 12,
                 report: fleet_report,
             },
             LedgerRecord::Topo {
+                digest: 0x0def_aced,
                 full_size: 96,
                 size: 48,
                 report: topo_report,
